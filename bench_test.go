@@ -1,0 +1,238 @@
+// Benchmark harness: one benchmark per reproduction experiment (the
+// paper's claim-tables E1-E12 and ablations A1-A4; see DESIGN.md section 4
+// for the claim index), plus micro-benchmarks of the protocol primitives.
+//
+// Regenerate everything:
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/nowbench            # the same tables, rendered
+//	go run ./cmd/nowbench -full      # the long-running sweep
+package nowover_test
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"testing"
+
+	"nowover"
+)
+
+// benchScale sizes experiment benchmarks: smaller than QuickScale so the
+// full `go test -bench=.` sweep stays in minutes.
+func benchScale() nowover.ExperimentScale {
+	return nowover.ExperimentScale{
+		Ns:        []int{256, 512, 1024},
+		OpsFactor: 0.5,
+		Trials:    2,
+		Walks:     200,
+		Seed:      1,
+	}
+}
+
+// runExperiment executes one experiment table per benchmark iteration and
+// renders it once (to stderr on -v style runs is noise; we keep the table
+// output only when NOWOVER_BENCH_TABLES=1).
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	run, ok := nowover.Experiments()[id]
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	scale := benchScale()
+	var out io.Writer = io.Discard
+	if os.Getenv("NOWOVER_BENCH_TABLES") == "1" {
+		out = os.Stdout
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := run(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if err := table.Render(out); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(table.Rows)), "rows")
+		}
+	}
+}
+
+func BenchmarkE1HonestyUnderChurn(b *testing.B)   { runExperiment(b, "E1") }
+func BenchmarkE2PostExchangeTail(b *testing.B)    { runExperiment(b, "E2") }
+func BenchmarkE3DriftRecovery(b *testing.B)       { runExperiment(b, "E3") }
+func BenchmarkE4RandClCost(b *testing.B)          { runExperiment(b, "E4") }
+func BenchmarkE5ExchangeCost(b *testing.B)        { runExperiment(b, "E5") }
+func BenchmarkE6OperationCost(b *testing.B)       { runExperiment(b, "E6") }
+func BenchmarkE7WalkUniformity(b *testing.B)      { runExperiment(b, "E7") }
+func BenchmarkE8OverlayHealth(b *testing.B)       { runExperiment(b, "E8") }
+func BenchmarkE9InitCost(b *testing.B)            { runExperiment(b, "E9") }
+func BenchmarkE10Applications(b *testing.B)       { runExperiment(b, "E10") }
+func BenchmarkE11Baselines(b *testing.B)          { runExperiment(b, "E11") }
+func BenchmarkE12SecurityMargins(b *testing.B)    { runExperiment(b, "E12") }
+func BenchmarkAblationMergeStrategy(b *testing.B) { runExperiment(b, "A1") }
+func BenchmarkAblationLeaveCascade(b *testing.B)  { runExperiment(b, "A2") }
+func BenchmarkAblationDegreeRepair(b *testing.B)  { runExperiment(b, "A3") }
+func BenchmarkAblationCommitReveal(b *testing.B)  { runExperiment(b, "A4") }
+
+// --- primitive micro-benchmarks ---
+
+func benchSystem(b *testing.B, maxN, n0 int, tau float64) *nowover.System {
+	b.Helper()
+	cfg := nowover.DefaultConfig(maxN)
+	cfg.Seed = 1
+	sys, err := nowover.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Bootstrap(n0, nowover.FractionCorrupt(n0, tau)); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func BenchmarkJoinOperation(b *testing.B) {
+	for _, maxN := range []int{1024, 4096} {
+		b.Run(fmt.Sprintf("N=%d", maxN), func(b *testing.B) {
+			sys := benchSystem(b, maxN, maxN/4, 0.15)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.JoinAuto(false); err != nil {
+					b.Fatal(err)
+				}
+				if sys.NumNodes() >= maxN {
+					b.StopTimer()
+					sys = benchSystem(b, maxN, maxN/4, 0.15)
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLeaveOperation(b *testing.B) {
+	for _, maxN := range []int{1024, 4096} {
+		b.Run(fmt.Sprintf("N=%d", maxN), func(b *testing.B) {
+			sys := benchSystem(b, maxN, maxN/2, 0.15)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				x, err := sys.JoinAuto(false) // keep population steady
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := sys.Leave(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRandClWalk(b *testing.B) {
+	for _, maxN := range []int{1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("N=%d", maxN), func(b *testing.B) {
+			sys := benchSystem(b, maxN, maxN/2, 0.15)
+			w := sys.World()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start, _ := w.RandomCluster(w.Rng())
+				if _, err := w.Walker().Biased(w.Ledger(), w.Rng(), start); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExchangePrimitive(b *testing.B) {
+	for _, maxN := range []int{1024, 4096} {
+		b.Run(fmt.Sprintf("N=%d", maxN), func(b *testing.B) {
+			sys := benchSystem(b, maxN, maxN/2, 0.15)
+			w := sys.World()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, _ := w.RandomCluster(w.Rng())
+				if err := w.ForceExchange(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkUniformSample(b *testing.B) {
+	sys := benchSystem(b, 4096, 2048, 0.15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Sample(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBroadcast(b *testing.B) {
+	for _, n0 := range []int{512, 2048} {
+		b.Run("n0="+strconv.Itoa(n0), func(b *testing.B) {
+			sys := benchSystem(b, 4096, n0, 0.15)
+			src := sys.Clusters()[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Broadcast(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkOverlayHealthAudit(b *testing.B) {
+	sys := benchSystem(b, 4096, 2048, 0.15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := sys.CheckOverlay()
+		if !h.Connected {
+			b.Fatal("overlay disconnected")
+		}
+	}
+}
+
+func BenchmarkBootstrap(b *testing.B) {
+	for _, n0 := range []int{512, 2048} {
+		b.Run("n0="+strconv.Itoa(n0), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := nowover.DefaultConfig(4096)
+				cfg.Seed = uint64(i + 1)
+				sys, err := nowover.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Bootstrap(n0, nowover.FractionCorrupt(n0, 0.2)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSimulationStep(b *testing.B) {
+	cfg := nowover.SimConfig{
+		Core:        nowover.DefaultConfig(4096),
+		InitialSize: 1024,
+		Tau:         0.15,
+		Steps:       0,
+		Seed:        1,
+	}
+	cfg.Core.Seed = 1
+	runner, err := nowover.NewSimulation(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := runner.Continue(nil, b.N); err != nil {
+		b.Fatal(err)
+	}
+}

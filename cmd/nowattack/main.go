@@ -1,0 +1,91 @@
+// Command nowattack explores the attacks that motivate NOW's shuffling
+// (paper section 3.3): it runs the same adversary against the full
+// protocol and against the no-shuffle ablation side by side, reporting
+// how far each attack gets.
+//
+// Example:
+//
+//	nowattack -N 2048 -tau 0.30 -steps 4000 -attack joinleave
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nowover"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nowattack:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		maxN   = flag.Int("N", 2048, "name-space bound N")
+		tau    = flag.Float64("tau", 0.30, "adversary corruption budget")
+		steps  = flag.Int("steps", 2000, "attack duration (time steps)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		attack = flag.String("attack", "joinleave", "attack: joinleave | dos")
+		k      = flag.Float64("k", 5, "cluster size security parameter K")
+	)
+	flag.Parse()
+
+	fmt.Printf("nowattack: %s attack, N=%d tau=%.2f K=%.1f steps=%d\n\n", *attack, *maxN, *tau, *k, *steps)
+	fmt.Printf("%-22s  %-12s  %-14s  %-14s  %-10s\n",
+		"defense", "maxByzFrac", "degradedEvts", "capturedEvts", "verdict")
+
+	for _, defense := range []struct {
+		name    string
+		shuffle bool
+	}{
+		{"full NOW (shuffled)", true},
+		{"no-shuffle ablation", false},
+	} {
+		cfg := nowover.SimConfig{
+			Core:            nowover.DefaultConfig(*maxN),
+			InitialSize:     *maxN / 2,
+			Tau:             *tau,
+			Steps:           *steps,
+			Seed:            *seed,
+			InstallHijacker: true,
+		}
+		cfg.Core.Seed = *seed
+		cfg.Core.K = *k
+		cfg.Core.L = 1.6
+		if !defense.shuffle {
+			cfg.Core.ExchangeOnJoin = false
+			cfg.Core.ExchangeOnLeave = false
+			cfg.Core.LeaveCascade = false
+		}
+		budget := nowover.Budget{Tau: *tau}
+		switch *attack {
+		case "joinleave":
+			cfg.Strategy = &nowover.JoinLeaveAttack{Budget: budget}
+		case "dos":
+			cfg.Strategy = &nowover.DOSAttack{Budget: budget}
+		default:
+			return fmt.Errorf("unknown attack %q", *attack)
+		}
+		res, err := nowover.Simulate(cfg)
+		if err != nil {
+			return err
+		}
+		verdict := "held"
+		if res.Stats.CapturedEvents > 0 {
+			verdict = "CAPTURED"
+		} else if res.Stats.DegradedEvents > 0 {
+			verdict = "degraded"
+		}
+		fmt.Printf("%-22s  %-12.3f  %-14d  %-14d  %-10s\n",
+			defense.name, res.Stats.MaxByzFractionEver,
+			res.Stats.DegradedEvents, res.Stats.CapturedEvents, verdict)
+	}
+	fmt.Println("\nsection 3.3: without shuffling the adversary concentrates its nodes in the")
+	fmt.Println("target cluster; with exchange-on-join and leave cascades the placement is")
+	fmt.Println("re-randomized every operation and the attack gains nothing (Theorem 3).")
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command nowbench regenerates the paper-reproduction tables (experiments
+// E1-E12 plus ablations A1-A4; see DESIGN.md for the claim index and
+// EXPERIMENTS.md for recorded results).
+//
+// Examples:
+//
+//	nowbench                  # every experiment at quick scale
+//	nowbench -exp E1,E4       # selected experiments
+//	nowbench -full            # the long-running sweep
+//	nowbench -csv out/        # also write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"nowover"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nowbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expFlag = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		full    = flag.Bool("full", false, "use the long-running scale")
+		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV files")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	scale := nowover.QuickScale()
+	if *full {
+		scale = nowover.FullScale()
+	}
+	scale.Seed = *seed
+
+	registry := nowover.Experiments()
+	var selected []string
+	if *expFlag == "" {
+		selected = nowover.ExperimentIDs()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := registry[id]; !ok {
+				return fmt.Errorf("unknown experiment %q (known: %s)",
+					id, strings.Join(nowover.ExperimentIDs(), ", "))
+			}
+			selected = append(selected, id)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	for _, id := range selected {
+		start := time.Now()
+		table, err := registry[id](scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if err := table.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, id+".csv"))
+			if err != nil {
+				return err
+			}
+			werr := table.CSV(f)
+			cerr := f.Close()
+			if werr != nil {
+				return werr
+			}
+			if cerr != nil {
+				return cerr
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package nowover_test
+
+import (
+	"fmt"
+	"log"
+
+	"nowover"
+)
+
+// Example shows the minimal lifecycle: bootstrap, churn, audit.
+func Example() {
+	cfg := nowover.DefaultConfig(1024)
+	cfg.Seed = 1
+	sys, err := nowover.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Bootstrap(400, nowover.FractionCorrupt(400, 0.20)); err != nil {
+		log.Fatal(err)
+	}
+	id, err := sys.JoinAuto(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Leave(id); err != nil {
+		log.Fatal(err)
+	}
+	a := sys.Audit()
+	fmt.Println("nodes:", a.Nodes)
+	fmt.Println("no captured clusters:", a.Captured == 0)
+	fmt.Println("overlay connected:", a.OverlayConnected)
+	// Output:
+	// nodes: 400
+	// no captured clusters: true
+	// overlay connected: true
+}
+
+// ExampleSystem_Broadcast demonstrates the O~(n) reliable broadcast.
+func ExampleSystem_Broadcast() {
+	cfg := nowover.DefaultConfig(1024)
+	cfg.Seed = 2
+	sys, err := nowover.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Bootstrap(300, nil); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.Broadcast(sys.Clusters()[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all nodes reached:", rep.NodesReached == sys.NumNodes())
+	fmt.Println("cheaper than flooding:", rep.Messages < rep.FloodingMessages)
+	// Output:
+	// all nodes reached: true
+	// cheaper than flooding: true
+}
+
+// ExampleSystem_Aggregate counts the network through the overlay tree.
+func ExampleSystem_Aggregate() {
+	cfg := nowover.DefaultConfig(1024)
+	cfg.Seed = 3
+	sys, err := nowover.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Bootstrap(300, nil); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.Aggregate(sys.Clusters()[0], func(nowover.ClusterID, int) int64 { return 1 })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("count:", rep.Value)
+	// Output:
+	// count: 300
+}
+
+// ExampleSimulate runs a churn simulation end to end.
+func ExampleSimulate() {
+	cfg := nowover.SimConfig{
+		Core:        nowover.DefaultConfig(1024),
+		InitialSize: 300,
+		Tau:         0.10,
+		Steps:       100,
+		Seed:        4,
+	}
+	cfg.Core.Seed = 4
+	res, err := nowover.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("steps:", res.Steps)
+	fmt.Println("no captures:", res.Stats.CapturedEvents == 0)
+	// Output:
+	// steps: 100
+	// no captures: true
+}

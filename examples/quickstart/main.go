@@ -1,0 +1,70 @@
+// Quickstart: bring up a NOW system, churn it, and watch the Theorem 3
+// invariant hold.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nowover"
+)
+
+func main() {
+	// N is the name-space bound: the network may grow to N nodes and
+	// shrink to sqrt(N). Clusters hold ~K*log2(N) nodes each.
+	const maxN = 4096
+	cfg := nowover.DefaultConfig(maxN)
+	cfg.Seed = 42
+
+	sys, err := nowover.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Start with 1024 nodes; the adversary controls 20% of them from the
+	// beginning (the paper's static Byzantine adversary at tau <= 1/3-eps).
+	const n0 = 1024
+	if err := sys.Bootstrap(n0, nowover.FractionCorrupt(n0, 0.20)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrapped: %d nodes in %d clusters (target size %d)\n",
+		sys.NumNodes(), sys.NumClusters(), cfg.TargetClusterSize())
+
+	// Churn: 200 honest arrivals and departures. Every join and leave
+	// triggers the full maintenance machinery — biased random walks on the
+	// expander overlay, cluster-wide node exchanges, splits and merges.
+	var joined []nowover.NodeID
+	for i := 0; i < 200; i++ {
+		id, err := sys.JoinAuto(false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		joined = append(joined, id)
+	}
+	for _, id := range joined[:100] {
+		if err := sys.Leave(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Audit: the quantities Theorem 3 bounds.
+	a := sys.Audit()
+	fmt.Printf("after churn: %s\n", a)
+	fmt.Printf("worst cluster is %.0f%% Byzantine (must stay below 50%%; below 33%% w.h.p.)\n",
+		100*a.MaxByzFraction)
+
+	// The overlay must remain a bounded-degree expander (OVER Props 1-2).
+	h := sys.CheckOverlay()
+	fmt.Printf("overlay: %d clusters, degrees [%d,%d] (cap %d), spectral gap %.3f, connected=%v\n",
+		h.Vertices, h.MinDegree, h.MaxDegree, cfg.DegreeCap(), h.SpectralGap, h.Connected)
+
+	// Communication cost so far, by protocol component.
+	fmt.Printf("total cost: %v\n", sys.TotalCost())
+
+	if a.Captured > 0 {
+		log.Fatal("invariant violated: a cluster was captured")
+	}
+	fmt.Println("Theorem 3 invariant held.")
+}

@@ -1,0 +1,234 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"nowover/internal/adversary"
+	"nowover/internal/core"
+	"nowover/internal/ids"
+	"nowover/internal/xrand"
+)
+
+func view(t *testing.T, n0 int, tau float64) *core.World {
+	t.Helper()
+	cfg := core.DefaultConfig(1024)
+	cfg.Seed = 21
+	w, err := core.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := int(tau * float64(n0))
+	if err := w.Bootstrap(n0, func(slot int) bool { return slot < budget }); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestBudgetEnforcement(t *testing.T) {
+	w := view(t, 300, 0.30)
+	b := adversary.Budget{Tau: 0.30}
+	// Exactly at budget: corrupting one more must be rejected.
+	if b.CanCorrupt(w) {
+		t.Errorf("budget allowed corruption at %d/%d with tau=0.3",
+			w.NumByzantine(), w.NumNodes())
+	}
+	loose := adversary.Budget{Tau: 0.5}
+	if !loose.CanCorrupt(w) {
+		t.Error("loose budget refused corruption")
+	}
+}
+
+func TestRandomChurnDirections(t *testing.T) {
+	w := view(t, 300, 0.1)
+	s := &adversary.RandomChurn{Budget: adversary.Budget{Tau: 0.1}}
+	r := xrand.New(1)
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+	joins, leaves := 0, 0
+	for i := 0; i < 100; i++ {
+		op := s.Decide(w, r, adversary.Grow)
+		if op.Kind != adversary.OpJoin {
+			t.Fatalf("grow produced %v", op.Kind)
+		}
+		if op.HasContact {
+			t.Error("benign churn picked a contact")
+		}
+		joins++
+		op = s.Decide(w, r, adversary.Shrink)
+		if op.Kind != adversary.OpLeave {
+			t.Fatalf("shrink produced %v", op.Kind)
+		}
+		if !w.Contains(op.Victim) {
+			t.Error("victim not in network")
+		}
+		leaves++
+	}
+	if joins != 100 || leaves != 100 {
+		t.Error("direction not respected")
+	}
+}
+
+func TestRandomChurnRespectsBudget(t *testing.T) {
+	w := view(t, 300, 0.30)
+	s := &adversary.RandomChurn{Budget: adversary.Budget{Tau: 0.30}}
+	r := xrand.New(2)
+	for i := 0; i < 200; i++ {
+		op := s.Decide(w, r, adversary.Grow)
+		if op.Byz {
+			t.Fatal("corrupted joiner beyond budget")
+		}
+	}
+}
+
+func TestJoinLeaveAttackTargetsSticky(t *testing.T) {
+	w := view(t, 300, 0.2)
+	s := &adversary.JoinLeaveAttack{Budget: adversary.Budget{Tau: 0.25}}
+	t1 := s.Target(w)
+	t2 := s.Target(w)
+	if t1 != t2 {
+		t.Errorf("target drifted %v -> %v without cause", t1, t2)
+	}
+	// The chosen target must be the most-polluted cluster.
+	bestFrac := -1.0
+	for _, c := range w.Clusters() {
+		if sz := w.Size(c); sz > 0 {
+			f := float64(w.Byz(c)) / float64(sz)
+			if f > bestFrac {
+				bestFrac = f
+			}
+		}
+	}
+	if got := float64(w.Byz(t1)) / float64(w.Size(t1)); got < bestFrac-1e-9 {
+		t.Errorf("target fraction %.3f below best %.3f", got, bestFrac)
+	}
+}
+
+func TestJoinLeaveAttackOps(t *testing.T) {
+	w := view(t, 300, 0.2)
+	s := &adversary.JoinLeaveAttack{Budget: adversary.Budget{Tau: 0.25}}
+	r := xrand.New(3)
+	op := s.Decide(w, r, adversary.Grow)
+	if op.Kind != adversary.OpJoin || !op.Byz || !op.HasContact {
+		t.Errorf("grow op = %+v, want corrupted join with contact", op)
+	}
+	if op.Contact != s.Target(w) {
+		t.Error("join contact is not the target")
+	}
+	op = s.Decide(w, r, adversary.Shrink)
+	if op.Kind != adversary.OpLeave {
+		t.Fatalf("shrink op = %+v", op)
+	}
+	if c, _ := w.ClusterOf(op.Victim); c == s.Target(w) && w.IsByzantine(op.Victim) {
+		t.Error("attack pulled its own node out of the target cluster")
+	}
+}
+
+func TestJoinLeaveAttackBudgetFallback(t *testing.T) {
+	w := view(t, 300, 0.30)
+	s := &adversary.JoinLeaveAttack{Budget: adversary.Budget{Tau: 0.30}}
+	op := s.Decide(w, xrand.New(4), adversary.Grow)
+	if op.Byz {
+		t.Error("attack corrupted beyond budget")
+	}
+}
+
+func TestDOSAttackEvictsTargetHonest(t *testing.T) {
+	w := view(t, 300, 0.2)
+	s := &adversary.DOSAttack{Budget: adversary.Budget{Tau: 0.25}}
+	r := xrand.New(5)
+	op := s.Decide(w, r, adversary.Shrink)
+	if op.Kind != adversary.OpLeave {
+		t.Fatalf("shrink op = %+v", op)
+	}
+	if w.IsByzantine(op.Victim) {
+		t.Error("DoS evicted a Byzantine node")
+	}
+	op = s.Decide(w, r, adversary.Grow)
+	if op.Kind != adversary.OpJoin || !op.Byz || !op.HasContact {
+		t.Errorf("grow op = %+v", op)
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestCapturedHijacker(t *testing.T) {
+	h := adversary.CapturedHijacker{}
+	if _, ok := h.Redirect(0); ok {
+		t.Error("nil hijacker redirected")
+	}
+	h.TargetFn = func() (ids.ClusterID, bool) { return 7, true }
+	if tgt, ok := h.Redirect(3); !ok || tgt != 7 {
+		t.Errorf("redirect = %v,%v", tgt, ok)
+	}
+}
+
+func TestJoinLeaveAttackTargetRevalidated(t *testing.T) {
+	w := view(t, 300, 0.2)
+	s := &adversary.JoinLeaveAttack{Budget: adversary.Budget{Tau: 0.25}}
+	first := s.Target(w)
+	// Shrink until the original target may have merged away; the
+	// strategy must always return a live cluster.
+	r := xrand.New(7)
+	for i := 0; i < 150; i++ {
+		x, ok := w.RandomNode(r)
+		if !ok {
+			break
+		}
+		if err := w.Leave(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tgt := s.Target(w)
+	alive := false
+	for _, c := range w.Clusters() {
+		if c == tgt {
+			alive = true
+		}
+	}
+	if !alive {
+		t.Errorf("target %v (was %v) is not a live cluster", tgt, first)
+	}
+}
+
+func TestJoinLeaveAttackShrinkBelowBudgetSparesByz(t *testing.T) {
+	// With byz mass well below budget, the attack must not burn its own
+	// nodes on shrink steps.
+	w := view(t, 300, 0.05)
+	s := &adversary.JoinLeaveAttack{Budget: adversary.Budget{Tau: 0.30}}
+	r := xrand.New(9)
+	for i := 0; i < 50; i++ {
+		op := s.Decide(w, r, adversary.Shrink)
+		if op.Kind == adversary.OpLeave && w.IsByzantine(op.Victim) {
+			t.Fatal("attack evicted its own node while under budget")
+		}
+	}
+}
+
+func TestDOSAttackShrinkFallbackWithoutTargetHonest(t *testing.T) {
+	// Make the target cluster fully Byzantine so the preferred victims
+	// are absent; the fallback must still produce an honest victim.
+	w := view(t, 300, 0.2)
+	s := &adversary.DOSAttack{Budget: adversary.Budget{Tau: 0.9}}
+	r := xrand.New(11)
+	op := s.Decide(w, r, adversary.Grow) // fixes the target
+	if op.Kind != adversary.OpJoin {
+		t.Fatal("expected a join")
+	}
+	// Corrupt every member of the target (experiment hook).
+	tgt := s.Decide(w, r, adversary.Shrink).Victim
+	c, _ := w.ClusterOf(tgt)
+	for _, x := range w.Members(c) {
+		if err := w.SetCorrupted(x, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	op = s.Decide(w, r, adversary.Shrink)
+	if op.Kind != adversary.OpLeave {
+		t.Fatalf("shrink produced %v", op.Kind)
+	}
+	if w.IsByzantine(op.Victim) {
+		t.Error("DoS fallback evicted a Byzantine node")
+	}
+}

@@ -1,0 +1,181 @@
+package ba
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EIG runs exponential information gathering, the classical synchronous
+// Byzantine agreement with optimal resilience N > 3t in t+1 rounds
+// (Bar-Noy/Dolev/Dwork/Strong formulation). Each node maintains a tree of
+// relayed values indexed by fault-free sender paths; decisions are taken by
+// recursively resolving the tree with majority votes.
+//
+// Message size grows as O(N^t), so EIG is only practical for the small
+// committees where resilience exactly at the 1/3 boundary matters (the
+// paper's representative cluster is Theta(log N) nodes). maxFaults above
+// _eigFaultCap is rejected to keep executions tractable.
+func EIG(cfg Config, maxFaults int) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if maxFaults < 0 {
+		return Result{}, fmt.Errorf("ba: negative fault bound %d", maxFaults)
+	}
+	if maxFaults > _eigFaultCap {
+		return Result{}, fmt.Errorf("ba: EIG fault bound %d exceeds cap %d", maxFaults, _eigFaultCap)
+	}
+
+	res := Result{Decisions: make([]Value, cfg.N)}
+
+	// tree[i] maps a path (sequence of distinct node indices, encoded as a
+	// string key) to the value node i holds for that path. Level r paths
+	// have length r+1; the root level is the senders' own values.
+	trees := make([]map[string]Value, cfg.N)
+	for i := range trees {
+		trees[i] = make(map[string]Value)
+	}
+
+	// Round 0: everyone broadcasts its input.
+	level := make([]string, 0, cfg.N)
+	recv := broadcastRound(cfg, 0, cfg.Inputs, &res)
+	for i := 0; i < cfg.N; i++ {
+		for from := 0; from < cfg.N; from++ {
+			key := pathKey([]int{from})
+			trees[i][key] = recv[i][from]
+		}
+	}
+	for from := 0; from < cfg.N; from++ {
+		level = append(level, pathKey([]int{from}))
+	}
+
+	// Rounds 1..maxFaults: relay the previous level.
+	for round := 1; round <= maxFaults; round++ {
+		next := extendPaths(level, cfg.N)
+		// Each node i sends, for every path p in the previous level, the
+		// value it holds for p; recipients store it under p + sender.
+		for _, p := range next {
+			nodes := decodePath(p)
+			sender := nodes[len(nodes)-1]
+			honest := trees[sender][pathKey(nodes[:len(nodes)-1])]
+			b := cfg.Byzantine[sender]
+			for to := 0; to < cfg.N; to++ {
+				v := honest
+				if b != nil {
+					v = b.Send(round, sender, to, honest)
+				}
+				trees[to][p] = v
+				if sender != to {
+					res.Messages++
+				}
+			}
+		}
+		res.Rounds++
+		level = next
+	}
+
+	// Resolve: leaves keep their stored values; internal paths take the
+	// majority of their children.
+	for i := 0; i < cfg.N; i++ {
+		resolved := make(map[string]Value, len(trees[i]))
+		for _, p := range level {
+			resolved[p] = treeDefault(trees[i][p])
+		}
+		for depth := pathLen(level[0]) - 1; depth >= 1; depth-- {
+			parents := pathsOfLen(trees[i], depth)
+			for _, p := range parents {
+				children := childValues(resolved, p, cfg.N)
+				if len(children) == 0 {
+					resolved[p] = treeDefault(trees[i][p])
+					continue
+				}
+				m, _ := majority(children)
+				resolved[p] = m
+			}
+		}
+		roots := make([]Value, 0, cfg.N)
+		for from := 0; from < cfg.N; from++ {
+			roots = append(roots, resolved[pathKey([]int{from})])
+		}
+		m, _ := majority(roots)
+		res.Decisions[i] = m
+	}
+	return res, nil
+}
+
+// _eigFaultCap bounds tree growth; N^(t+1) paths with N <= ~12, t <= 3 is
+// a few thousand entries.
+const _eigFaultCap = 3
+
+func treeDefault(v Value) Value {
+	if v == Absent {
+		return 0
+	}
+	return v
+}
+
+func pathKey(nodes []int) string {
+	b := make([]byte, 0, len(nodes)*2)
+	for _, n := range nodes {
+		b = append(b, byte(n>>8), byte(n))
+	}
+	return string(b)
+}
+
+func decodePath(key string) []int {
+	out := make([]int, 0, len(key)/2)
+	for i := 0; i+1 < len(key); i += 2 {
+		out = append(out, int(key[i])<<8|int(key[i+1]))
+	}
+	return out
+}
+
+func pathLen(key string) int { return len(key) / 2 }
+
+// extendPaths appends every node not already on the path, in index order.
+func extendPaths(level []string, n int) []string {
+	var out []string
+	for _, p := range level {
+		nodes := decodePath(p)
+		on := make(map[int]bool, len(nodes))
+		for _, x := range nodes {
+			on[x] = true
+		}
+		for next := 0; next < n; next++ {
+			if !on[next] {
+				out = append(out, pathKey(append(append([]int{}, nodes...), next)))
+			}
+		}
+	}
+	return out
+}
+
+func pathsOfLen(tree map[string]Value, l int) []string {
+	var out []string
+	for p := range tree {
+		if pathLen(p) == l {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func childValues(resolved map[string]Value, parent string, n int) []Value {
+	nodes := decodePath(parent)
+	on := make(map[int]bool, len(nodes))
+	for _, x := range nodes {
+		on[x] = true
+	}
+	var out []Value
+	for next := 0; next < n; next++ {
+		if on[next] {
+			continue
+		}
+		child := pathKey(append(append([]int{}, nodes...), next))
+		if v, ok := resolved[child]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}

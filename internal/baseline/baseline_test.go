@@ -1,0 +1,162 @@
+package baseline
+
+import (
+	"testing"
+
+	"nowover/internal/xrand"
+)
+
+func TestNewStaticClusterValidation(t *testing.T) {
+	if _, err := NewStaticCluster(0, 10, 0.1, 1); err == nil {
+		t.Error("zero clusters accepted")
+	}
+	if _, err := NewStaticCluster(10, 5, 0.1, 1); err == nil {
+		t.Error("fewer nodes than clusters accepted")
+	}
+}
+
+func TestStaticClusterBootstrap(t *testing.T) {
+	s, err := NewStaticCluster(16, 320, 0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.Audit()
+	if a.Nodes != 320 || a.Clusters != 16 {
+		t.Fatalf("audit = %+v", a)
+	}
+	if a.MinSize != 20 || a.MaxSize != 20 {
+		t.Errorf("uneven bootstrap: %+v", a)
+	}
+}
+
+func TestStaticClusterSizesGrowWithN(t *testing.T) {
+	// The paper's core criticism of static-#C schemes: cluster sizes are
+	// Theta(n/#C) — they grow linearly with the network instead of staying
+	// O(log N).
+	s, err := NewStaticCluster(16, 320, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 960; i++ {
+		s.Join(false)
+	}
+	a := s.Audit()
+	if a.MeanSize < 75 || a.MeanSize > 85 {
+		t.Errorf("mean size %.1f, want ~80 after 4x growth", a.MeanSize)
+	}
+	if a.MaxSize < 60 {
+		t.Errorf("max size %d did not grow", a.MaxSize)
+	}
+}
+
+func TestStaticClusterJoinCostGrows(t *testing.T) {
+	s, err := NewStaticCluster(8, 160, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := s.Ledger().Snapshot()
+	for i := 0; i < 50; i++ {
+		s.Join(false)
+	}
+	earlyCost := s.Ledger().Since(early).Messages
+	for i := 0; i < 1000; i++ {
+		s.Join(false)
+	}
+	late := s.Ledger().Snapshot()
+	for i := 0; i < 50; i++ {
+		s.Join(false)
+	}
+	lateCost := s.Ledger().Since(late).Messages
+	if lateCost < 10*earlyCost {
+		t.Errorf("per-join cost did not blow up with n: early %d late %d", earlyCost, lateCost)
+	}
+}
+
+func TestStaticClusterLeave(t *testing.T) {
+	s, err := NewStaticCluster(4, 40, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(6)
+	x, ok := s.RandomNode(r)
+	if !ok {
+		t.Fatal("no node")
+	}
+	if err := s.Leave(x); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumNodes() != 39 {
+		t.Errorf("nodes = %d", s.NumNodes())
+	}
+	if err := s.Leave(x); err == nil {
+		t.Error("double leave accepted")
+	}
+}
+
+func TestStaticClusterByzantineTracking(t *testing.T) {
+	s, err := NewStaticCluster(8, 160, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.Audit()
+	if a.MaxByzFraction <= 0 || a.MaxByzFraction > 0.8 {
+		t.Errorf("max byz fraction %.2f implausible", a.MaxByzFraction)
+	}
+}
+
+func TestSingleClusterCosts(t *testing.T) {
+	var sc SingleCluster
+	if sc.DecisionCost(100) != 9900 {
+		t.Errorf("decision cost = %d", sc.DecisionCost(100))
+	}
+	if sc.BroadcastCost(100) != 9900 {
+		t.Errorf("broadcast cost = %d", sc.BroadcastCost(100))
+	}
+	// Clustered reference must beat the quadratic one at scale.
+	n := 10000
+	if ClusteredDecisionCost(n, 28) >= sc.DecisionCost(n) {
+		t.Error("clustered decision not cheaper at n=10000")
+	}
+}
+
+func TestExpectedStaticSize(t *testing.T) {
+	if got := ExpectedStaticSize(1000, 10); got != 100 {
+		t.Errorf("expected size = %v", got)
+	}
+}
+
+func TestStaticCaptureProbabilityMonotone(t *testing.T) {
+	// Larger clusters are exponentially safer at fixed tau.
+	p20 := StaticCaptureProbability(20, 0.2)
+	p40 := StaticCaptureProbability(40, 0.2)
+	p80 := StaticCaptureProbability(80, 0.2)
+	if !(p80 < p40 && p40 < p20) {
+		t.Errorf("capture probability not decreasing: %g %g %g", p20, p40, p80)
+	}
+	// tau at the threshold is hopeless.
+	if StaticCaptureProbability(100, 1.0/3) != 1 {
+		t.Error("tau=1/3 should give probability 1 (eps<=0)")
+	}
+	if StaticCaptureProbability(0, 0.2) != 0 {
+		t.Error("empty cluster probability should be 0")
+	}
+}
+
+func TestRandomNodeCoverage(t *testing.T) {
+	s, err := NewStaticCluster(4, 12, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(9)
+	seen := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		x, ok := s.RandomNode(r)
+		if !ok {
+			t.Fatal("no node")
+		}
+		seen[int(x)] = true
+	}
+	if len(seen) != 12 {
+		t.Errorf("RandomNode reached %d of 12 nodes", len(seen))
+	}
+}

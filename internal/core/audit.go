@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"nowover/internal/over"
+	"nowover/internal/randnum"
+)
+
+// Audit is a point-in-time invariant check of the world: the quantities
+// the paper's theorems bound. Cheap (O(#clusters)); call as often as
+// needed. Structural expansion checks are costlier — see OverlayHealth.
+type Audit struct {
+	Nodes    int
+	Byz      int
+	Clusters int
+
+	MinSize, MaxSize int
+	// SizeLo/SizeHi are the configured merge/split thresholds for
+	// reference.
+	SizeLo, SizeHi int
+
+	// MaxByzFraction is the worst current per-cluster Byzantine fraction.
+	MaxByzFraction float64
+	// Degraded counts clusters at >= 1/3 Byzantine (quorum rule at risk);
+	// Captured counts clusters at >= 1/2 (adversary speaks for them).
+	Degraded, Captured int
+
+	MinDegree, MaxDegree int
+	OverlayConnected     bool
+}
+
+// OK reports whether every invariant the paper maintains holds: all
+// clusters strictly below 1/3 Byzantine, sizes within thresholds, overlay
+// connected.
+func (a Audit) OK() bool {
+	return a.Degraded == 0 && a.Captured == 0 &&
+		a.MinSize >= a.SizeLo && a.MaxSize <= a.SizeHi &&
+		a.OverlayConnected
+}
+
+// String renders the audit compactly.
+func (a Audit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d (byz %d) clusters=%d size=[%d,%d] (bounds %d..%d) ",
+		a.Nodes, a.Byz, a.Clusters, a.MinSize, a.MaxSize, a.SizeLo, a.SizeHi)
+	fmt.Fprintf(&b, "maxByzFrac=%.3f degraded=%d captured=%d deg=[%d,%d] connected=%v",
+		a.MaxByzFraction, a.Degraded, a.Captured, a.MinDegree, a.MaxDegree, a.OverlayConnected)
+	return b.String()
+}
+
+// Audit computes the invariant check.
+func (w *World) Audit() Audit {
+	a := Audit{
+		Nodes:    len(w.nodes),
+		Byz:      len(w.byzNodes),
+		Clusters: len(w.clusters),
+		SizeLo:   w.cfg.MergeThreshold(),
+		SizeHi:   w.cfg.SplitThreshold(),
+	}
+	first := true
+	for c, cs := range w.clusters {
+		size := len(cs.members)
+		if first {
+			a.MinSize, a.MaxSize = size, size
+			first = false
+		} else {
+			if size < a.MinSize {
+				a.MinSize = size
+			}
+			if size > a.MaxSize {
+				a.MaxSize = size
+			}
+		}
+		if size > 0 {
+			if f := float64(cs.byz) / float64(size); f > a.MaxByzFraction {
+				a.MaxByzFraction = f
+			}
+		}
+		switch randnum.Classify(size, cs.byz) {
+		case randnum.Degraded:
+			a.Degraded++
+		case randnum.Captured:
+			a.Captured++
+			a.Degraded++ // captured clusters are degraded too
+		}
+		_ = c
+	}
+	g := w.overlay.Graph()
+	a.MinDegree = g.MinDegree()
+	a.MaxDegree = g.MaxDegree()
+	a.OverlayConnected = g.Connected()
+	return a
+}
+
+// OverlayHealth runs the structural OVER audit (degrees + expansion
+// estimates); randomized analyses draw from a stream split off the world's
+// seed so they do not perturb protocol randomness.
+func (w *World) OverlayHealth(spectralIters, randomCuts int) over.Health {
+	return w.overlay.CheckHealth(w.rng.Split(0xAEA1), spectralIters, randomCuts)
+}
+
+// CheckConsistency exhaustively cross-checks the world's redundant
+// bookkeeping (membership indexes, Byzantine counts, size multiset,
+// overlay/partition correspondence). Used by tests and the simulator's
+// paranoid mode; returns the first inconsistency found.
+func (w *World) CheckConsistency() error {
+	if len(w.allNodes) != len(w.nodes) {
+		return fmt.Errorf("consistency: %d indexed nodes vs %d records", len(w.allNodes), len(w.nodes))
+	}
+	totalMembers := 0
+	maxSize := 0
+	for c, cs := range w.clusters {
+		if !w.overlay.Has(c) {
+			return fmt.Errorf("consistency: cluster %v missing from overlay", c)
+		}
+		byz := 0
+		for i, x := range cs.members {
+			info, ok := w.nodes[x]
+			if !ok {
+				return fmt.Errorf("consistency: member %v of %v unknown", x, c)
+			}
+			if info.cluster != c {
+				return fmt.Errorf("consistency: node %v thinks it is in %v, member list says %v", x, info.cluster, c)
+			}
+			if cs.pos[x] != i {
+				return fmt.Errorf("consistency: position index broken for %v in %v", x, c)
+			}
+			if info.byz {
+				byz++
+			}
+		}
+		if byz != cs.byz {
+			return fmt.Errorf("consistency: cluster %v byz count %d, actual %d", c, cs.byz, byz)
+		}
+		totalMembers += len(cs.members)
+		if len(cs.members) > maxSize {
+			maxSize = len(cs.members)
+		}
+	}
+	if totalMembers != len(w.nodes) {
+		return fmt.Errorf("consistency: %d members across clusters vs %d nodes", totalMembers, len(w.nodes))
+	}
+	if w.overlay.NumVertices() != len(w.clusters) {
+		return fmt.Errorf("consistency: overlay has %d vertices vs %d clusters", w.overlay.NumVertices(), len(w.clusters))
+	}
+	if maxSize != w.maxSize {
+		return fmt.Errorf("consistency: tracked max size %d, actual %d", w.maxSize, maxSize)
+	}
+	sizes := make(map[int]int)
+	for _, cs := range w.clusters {
+		if len(cs.members) > 0 {
+			sizes[len(cs.members)]++
+		}
+	}
+	for s, n := range sizes {
+		if w.sizeCount[s] != n {
+			return fmt.Errorf("consistency: size multiset at %d is %d, actual %d", s, w.sizeCount[s], n)
+		}
+	}
+	for s, n := range w.sizeCount {
+		if sizes[s] != n {
+			return fmt.Errorf("consistency: size multiset extra entry %d=%d", s, n)
+		}
+	}
+	byzTotal := 0
+	for _, x := range w.byzNodes {
+		info, ok := w.nodes[x]
+		if !ok || !info.byz {
+			return fmt.Errorf("consistency: byz index entry %v invalid", x)
+		}
+		byzTotal++
+	}
+	for x, info := range w.nodes {
+		if info.byz {
+			if _, ok := w.byzPos[x]; !ok {
+				return fmt.Errorf("consistency: byz node %v missing from index", x)
+			}
+		}
+	}
+	_ = byzTotal
+	return nil
+}

@@ -1,0 +1,542 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nowover/internal/ids"
+	"nowover/internal/metrics"
+	"nowover/internal/randnum"
+)
+
+// Bootstrap runs the initialization phase (paper section 3.2) at size n0:
+// network discovery, Byzantine-agreement clusterization by a representative
+// cluster, the random partition into clusters of K*log2(N) nodes, and the
+// Erdos-Renyi overlay. corrupt decides which of the n0 initial node slots
+// the adversary controls (the paper's adversary corrupts its tau fraction
+// before the protocol starts).
+//
+// Discovery and agreement costs are charged analytically here (the paper's
+// O(n*e) and O~(n^{3/2}) bounds); experiment E9 runs the message-accurate
+// discovery implementation separately.
+func (w *World) Bootstrap(n0 int, corrupt func(slot int) bool) error {
+	if w.bootstrapped {
+		return fmt.Errorf("core: world already bootstrapped")
+	}
+	target := w.cfg.TargetClusterSize()
+	if n0 < 2*target {
+		return fmt.Errorf("core: n0=%d below two clusters of %d", n0, target)
+	}
+	if n0 > w.cfg.N {
+		return fmt.Errorf("core: n0=%d exceeds N=%d", n0, w.cfg.N)
+	}
+
+	// Initialization cost model: flooding discovery on a polylog-degree
+	// initial graph (e = n*log2(n)/2 edges), then clusterization via an
+	// off-the-shelf Byzantine agreement at O~(n^{3/2}).
+	fn := float64(n0)
+	l2 := math.Log2(fn)
+	w.led.Charge(metrics.ClassDiscovery, int64(fn*fn*l2/2))
+	w.led.AddRounds(int64(math.Ceil(l2)))
+	w.led.Charge(metrics.ClassAgreement, int64(fn*math.Sqrt(fn)*l2))
+	w.led.AddRounds(int64(math.Ceil(l2 * l2)))
+
+	// Random partition by the representative cluster: a random ordering,
+	// cut into consecutive chunks of the target size.
+	slots := w.rng.Perm(n0)
+	byz := make([]bool, n0)
+	for i := range byz {
+		byz[i] = corrupt != nil && corrupt(i)
+	}
+	var clusterIDs []ids.ClusterID
+	for start := 0; start < n0; start += target {
+		end := start + target
+		if end > n0 {
+			end = n0
+		}
+		if end-start < w.cfg.MergeThreshold() && len(clusterIDs) > 0 {
+			// Fold an undersized tail into the previous cluster.
+			prev := clusterIDs[len(clusterIDs)-1]
+			for _, slot := range slots[start:end] {
+				w.seedNode(prev, byz[slot])
+			}
+			break
+		}
+		c := w.clAlloc.NextCluster()
+		w.clusters[c] = &clusterState{pos: make(map[ids.NodeID]int, end-start)}
+		clusterIDs = append(clusterIDs, c)
+		for _, slot := range slots[start:end] {
+			w.seedNode(c, byz[slot])
+		}
+	}
+
+	// Overlay: Erdos-Renyi at the density giving the OVER target degree.
+	p := 1.0
+	if len(clusterIDs) > 1 {
+		p = float64(w.cfg.TargetDegree()) / float64(len(clusterIDs)-1)
+		if p > 1 {
+			p = 1
+		}
+	}
+	if _, err := w.overlay.Bootstrap(w.rng.Split(0xB007), clusterIDs, p); err != nil {
+		return err
+	}
+
+	// The representative cluster tells each node its cluster, the cluster
+	// members, and the composition of adjacent clusters.
+	for _, c := range clusterIDs {
+		size := int64(w.Size(c))
+		w.led.Charge(metrics.ClassInterCluster, size*(size-1))
+	}
+	g := w.overlay.Graph()
+	for _, c := range clusterIDs {
+		for _, d := range g.Neighbors(c) {
+			w.led.Charge(metrics.ClassInterCluster, int64(w.Size(c))*int64(w.Size(d)))
+		}
+	}
+	w.led.AddRounds(2)
+	w.bootstrapped = true
+	w.settleSecurity()
+	return nil
+}
+
+// seedNode creates one initial node in cluster c.
+func (w *World) seedNode(c ids.ClusterID, byz bool) {
+	x := w.nodeAlloc.NextNode()
+	cs := w.clusters[c]
+	w.noteSizeChange(c, len(cs.members), len(cs.members)+1)
+	cs.add(x, byz)
+	w.registerNode(x, byz, c)
+	w.reclassify(c)
+}
+
+// JoinAuto performs a Join whose contact cluster is chosen uniformly — the
+// honest arrival case.
+func (w *World) JoinAuto(byz bool) (ids.NodeID, error) {
+	contact, ok := w.RandomCluster(w.rng)
+	if !ok {
+		return 0, fmt.Errorf("core: no clusters to contact")
+	}
+	return w.Join(byz, contact)
+}
+
+// Join executes the paper's Join operation (Algorithm 1 + section 3.3): the
+// new node contacts `contact`, randCl picks the insertion cluster, the
+// cluster inserts the node and exchanges all of its nodes, splitting if it
+// exceeded the threshold. Returns the new node's ID.
+func (w *World) Join(byz bool, contact ids.ClusterID) (ids.NodeID, error) {
+	x := w.nodeAlloc.NextNode()
+	if err := w.joinExisting(x, byz, contact); err != nil {
+		return 0, err
+	}
+	return x, nil
+}
+
+// joinExisting inserts a specific node identity (fresh or rejoining).
+func (w *World) joinExisting(x ids.NodeID, byz bool, contact ids.ClusterID) error {
+	if !w.bootstrapped {
+		return fmt.Errorf("core: join before bootstrap")
+	}
+	if w.Contains(x) {
+		return fmt.Errorf("core: node %v already present", x)
+	}
+	if _, ok := w.clusters[contact]; !ok {
+		return fmt.Errorf("core: join contact %v is not a cluster", contact)
+	}
+	out, err := w.walker.Biased(w.led, w.rng, contact)
+	if err != nil {
+		return fmt.Errorf("core: join walk: %w", err)
+	}
+	if out.Hijacked {
+		w.stats.HijackedWalks++
+	}
+	target := out.End
+	cs := w.clusters[target]
+	w.noteSizeChange(target, len(cs.members), len(cs.members)+1)
+	cs.add(x, byz)
+	w.registerNode(x, byz, target)
+	w.reclassify(target)
+	w.chargeInsertion(target)
+
+	if w.cfg.ExchangeOnJoin {
+		rep, err := w.exch.Run(w.led, w.rng, target)
+		if err != nil {
+			return fmt.Errorf("core: join exchange: %w", err)
+		}
+		w.stats.HijackedWalks += int64(rep.Hijacked)
+	}
+	if w.Size(target) > w.cfg.SplitThreshold() {
+		if err := w.split(target); err != nil {
+			return fmt.Errorf("core: join split: %w", err)
+		}
+	}
+	w.stats.Joins++
+	w.settleSecurity()
+	return nil
+}
+
+// chargeInsertion charges the cost of installing one node into cluster c:
+// the cluster's members update their views, adjacent clusters are informed,
+// and the node downloads its cluster and neighborhood composition.
+func (w *World) chargeInsertion(c ids.ClusterID) {
+	size := int64(w.Size(c))
+	w.led.Charge(metrics.ClassIntraCluster, size-1)
+	var nbr int64
+	for i, d := 0, w.Degree(c); i < d; i++ {
+		nbr += int64(w.Size(w.NeighborAt(c, i)))
+	}
+	w.led.Charge(metrics.ClassInterCluster, size*nbr+size+nbr)
+	w.led.AddRounds(2)
+}
+
+// Leave executes the paper's Leave operation (Algorithm 2): the cluster
+// detects the departure, exchanges all its nodes, cascades an exchange
+// onto every cluster that received one of them, and merges if it fell
+// below the threshold.
+func (w *World) Leave(x ids.NodeID) error {
+	if !w.bootstrapped {
+		return fmt.Errorf("core: leave before bootstrap")
+	}
+	info, ok := w.nodes[x]
+	if !ok {
+		return fmt.Errorf("core: leave of unknown node %v", x)
+	}
+	c := info.cluster
+	cs := w.clusters[c]
+
+	// Departure detection and view cleanup.
+	size := int64(len(cs.members))
+	w.led.Charge(metrics.ClassIntraCluster, size-1)
+	var nbrMass int64
+	for i, d := 0, w.Degree(c); i < d; i++ {
+		nbrMass += int64(w.Size(w.NeighborAt(c, i)))
+	}
+	w.led.Charge(metrics.ClassInterCluster, (size-1)*nbrMass)
+	w.led.AddRounds(2)
+
+	w.noteSizeChange(c, len(cs.members), len(cs.members)-1)
+	if err := cs.remove(x, info.byz); err != nil {
+		return err
+	}
+	w.unregisterNode(x)
+	w.reclassify(c)
+
+	if len(cs.members) == 0 {
+		// Pathological: cluster emptied (only possible with tiny
+		// configurations); retire it from the overlay.
+		w.removeClusterVertex(c)
+		w.stats.Leaves++
+		w.settleSecurity()
+		return nil
+	}
+
+	if w.cfg.ExchangeOnLeave {
+		rep, err := w.exch.Run(w.led, w.rng, c)
+		if err != nil {
+			return fmt.Errorf("core: leave exchange: %w", err)
+		}
+		w.stats.HijackedWalks += int64(rep.Hijacked)
+		if w.cfg.LeaveCascade {
+			for _, recv := range rep.Receivers {
+				if _, ok := w.clusters[recv]; !ok {
+					continue
+				}
+				crep, err := w.exch.Run(w.led, w.rng, recv)
+				if err != nil {
+					return fmt.Errorf("core: leave cascade exchange: %w", err)
+				}
+				w.stats.HijackedWalks += int64(crep.Hijacked)
+			}
+		}
+	}
+	if w.Size(c) < w.cfg.MergeThreshold() {
+		if err := w.merge(c); err != nil {
+			return fmt.Errorf("core: leave merge: %w", err)
+		}
+	}
+	w.stats.Leaves++
+	w.settleSecurity()
+	return nil
+}
+
+// ForceExchange runs the exchange primitive on a cluster outside the
+// join/leave flow. The paper invokes exchange only from maintenance
+// operations, but the primitive is well-defined on its own; experiments
+// use it to measure Lemma 1-3 dynamics (post-exchange composition, drift,
+// recovery) and its isolated cost (paper section 3.1).
+func (w *World) ForceExchange(c ids.ClusterID) error {
+	if _, ok := w.clusters[c]; !ok {
+		return fmt.Errorf("core: exchange on unknown cluster %v", c)
+	}
+	rep, err := w.exch.Run(w.led, w.rng, c)
+	if err != nil {
+		return err
+	}
+	w.stats.HijackedWalks += int64(rep.Hijacked)
+	w.settleSecurity()
+	return nil
+}
+
+// SetCorrupted flips a node's allegiance. The paper's adversary is static
+// (it corrupts only at start and at join time); this hook exists so
+// experiments can construct the *concentrated* corruption states whose
+// decay Lemmas 2-3 analyze, without replaying the join-leave sequences
+// that would produce them. It keeps every invariant index consistent.
+func (w *World) SetCorrupted(x ids.NodeID, corrupted bool) error {
+	info, ok := w.nodes[x]
+	if !ok {
+		return fmt.Errorf("core: unknown node %v", x)
+	}
+	if info.byz == corrupted {
+		return nil
+	}
+	cs := w.clusters[info.cluster]
+	if corrupted {
+		cs.byz++
+		w.byzPos[x] = len(w.byzNodes)
+		w.byzNodes = append(w.byzNodes, x)
+	} else {
+		cs.byz--
+		j := w.byzPos[x]
+		last := len(w.byzNodes) - 1
+		moved := w.byzNodes[last]
+		w.byzNodes[j] = moved
+		w.byzPos[moved] = j
+		w.byzNodes = w.byzNodes[:last]
+		delete(w.byzPos, x)
+	}
+	info.byz = corrupted
+	w.nodes[x] = info
+	w.reclassify(info.cluster)
+	w.settleSecurity()
+	return nil
+}
+
+// split bipartitions an oversized cluster (section 3.3): a random half
+// stays under the old identity (keeping its overlay edges), the other half
+// becomes a fresh overlay vertex wired by OVER's Add.
+func (w *World) split(c ids.ClusterID) error {
+	members := w.Members(c)
+	// The partition is generated collectively: one randNum instance seeds
+	// the permutation.
+	if _, _, err := w.cfg.Generator.Draw(w.led, w.rng, randnum.Params{
+		Size: len(members), Byz: w.Byz(c), R: 1 << 30,
+	}, nil); err != nil {
+		return err
+	}
+	w.rng.Shuffle(len(members), func(i, j int) {
+		members[i], members[j] = members[j], members[i]
+	})
+	keep := (len(members) + 1) / 2
+
+	c2 := w.clAlloc.NextCluster()
+	w.clusters[c2] = &clusterState{pos: make(map[ids.NodeID]int, len(members)-keep)}
+	for _, x := range members[keep:] {
+		if err := w.moveNode(x, c, c2); err != nil {
+			return err
+		}
+	}
+
+	// OVER Add: wire the new vertex via uniform CTRWs started at the
+	// sibling (the only vertex the new cluster is guaranteed to know).
+	budget := w.cfg.TargetDegree() * w.cfg.EdgeAttemptFactor
+	added, err := w.overlay.Add(w.led, c2, w.uniformPickerFrom(c), budget)
+	if err != nil {
+		return err
+	}
+	_ = added
+
+	// Costs: neighbors of the old cluster learn the replacement; each new
+	// edge of c2 is a full bipartite introduction.
+	var mass int64
+	for i, d := 0, w.Degree(c); i < d; i++ {
+		mass += int64(w.Size(w.NeighborAt(c, i)))
+	}
+	w.led.Charge(metrics.ClassInterCluster, int64(w.Size(c))*mass)
+	for i, d := 0, w.Degree(c2); i < d; i++ {
+		w.led.Charge(metrics.ClassInterCluster,
+			int64(w.Size(c2))*int64(w.Size(w.NeighborAt(c2, i))))
+	}
+	w.led.AddRounds(2)
+	w.stats.Splits++
+	return nil
+}
+
+// merge handles an undersized cluster per the configured strategy.
+func (w *World) merge(c ids.ClusterID) error {
+	if len(w.clusters) <= 1 {
+		return nil // cannot merge the last cluster
+	}
+	switch w.cfg.MergeStrategy {
+	case MergeAbsorbRandom:
+		return w.mergeAbsorbRandom(c)
+	case MergeRejoinAll:
+		return w.mergeRejoinAll(c)
+	default:
+		return fmt.Errorf("core: unknown merge strategy %v", w.cfg.MergeStrategy)
+	}
+}
+
+// mergeAbsorbRandom: a random cluster C' (chosen by randCl so that OVER's
+// random-removal assumption holds) is dissolved into c, then c exchanges
+// all its nodes.
+func (w *World) mergeAbsorbRandom(c ids.ClusterID) error {
+	partner, err := w.randomOtherCluster(c)
+	if err != nil {
+		return err
+	}
+	// Announce C' removal to its neighbors.
+	var mass int64
+	for i, d := 0, w.Degree(partner); i < d; i++ {
+		mass += int64(w.Size(w.NeighborAt(partner, i)))
+	}
+	w.led.Charge(metrics.ClassInterCluster, int64(w.Size(partner))*mass)
+
+	for _, x := range w.Members(partner) {
+		if err := w.moveNode(x, partner, c); err != nil {
+			return err
+		}
+		w.led.Charge(metrics.ClassExchange, int64(w.Size(c)))
+	}
+	w.removeClusterVertex(partner)
+	w.led.AddRounds(2)
+
+	rep, err := w.exch.Run(w.led, w.rng, c)
+	if err != nil {
+		return err
+	}
+	w.stats.HijackedWalks += int64(rep.Hijacked)
+	w.stats.Merges++
+	if w.Size(c) > w.cfg.SplitThreshold() {
+		return w.split(c)
+	}
+	return nil
+}
+
+// mergeRejoinAll: the undersized cluster leaves the overlay and its
+// members re-join individually on subsequent time steps (Algorithm 2).
+func (w *World) mergeRejoinAll(c ids.ClusterID) error {
+	var mass int64
+	for i, d := 0, w.Degree(c); i < d; i++ {
+		mass += int64(w.Size(w.NeighborAt(c, i)))
+	}
+	w.led.Charge(metrics.ClassInterCluster, int64(w.Size(c))*mass)
+	for _, x := range w.Members(c) {
+		info := w.nodes[x]
+		cs := w.clusters[c]
+		w.noteSizeChange(c, len(cs.members), len(cs.members)-1)
+		if err := cs.remove(x, info.byz); err != nil {
+			return err
+		}
+		w.unregisterNode(x)
+		w.pendingRejoin = append(w.pendingRejoin, x)
+		w.rejoinByz[x] = info.byz
+	}
+	w.reclassify(c)
+	w.removeClusterVertex(c)
+	w.led.AddRounds(2)
+	w.stats.Merges++
+	return nil
+}
+
+// Rejoin re-inserts a node displaced by MergeRejoinAll, preserving its
+// identity and corruption status.
+func (w *World) Rejoin(x ids.NodeID) error {
+	byz, ok := w.rejoinByz[x]
+	if !ok {
+		return fmt.Errorf("core: node %v is not awaiting rejoin", x)
+	}
+	delete(w.rejoinByz, x)
+	contact, ok2 := w.RandomCluster(w.rng)
+	if !ok2 {
+		return fmt.Errorf("core: no clusters to rejoin")
+	}
+	if err := w.joinExisting(x, byz, contact); err != nil {
+		return err
+	}
+	w.stats.Rejoins++
+	return nil
+}
+
+// randomOtherCluster picks a random cluster != c via the biased walk,
+// falling back to a uniform draw if every restart lands on c.
+func (w *World) randomOtherCluster(c ids.ClusterID) (ids.ClusterID, error) {
+	out, err := w.walker.Biased(w.led, w.rng, c)
+	if err != nil {
+		return 0, err
+	}
+	if out.Hijacked {
+		w.stats.HijackedWalks++
+	}
+	if out.End != c {
+		return out.End, nil
+	}
+	vs := w.overlay.Vertices()
+	for {
+		cand := vs[w.rng.Intn(len(vs))]
+		if cand != c {
+			return cand, nil
+		}
+	}
+}
+
+// moveNode relocates x without counting it as a protocol swap.
+func (w *World) moveNode(x ids.NodeID, from, to ids.ClusterID) error {
+	before := w.stats.Swaps
+	if err := w.Transfer(x, from, to); err != nil {
+		return err
+	}
+	w.stats.Swaps = before
+	return nil
+}
+
+// removeClusterVertex retires c from both the partition bookkeeping and
+// the overlay, running OVER's repair pass.
+func (w *World) removeClusterVertex(c ids.ClusterID) {
+	if cs, ok := w.clusters[c]; ok {
+		w.noteSizeChange(c, len(cs.members), 0)
+		delete(w.clusters, c)
+	}
+	delete(w.degraded, c)
+	if w.overlay.Has(c) {
+		budget := w.cfg.TargetDegree() * w.cfg.EdgeAttemptFactor
+		// Repair walks start from the vertex being repaired.
+		_, _ = w.overlay.Remove(w.led, c, w.uniformPickerFromSelf(), budget)
+	}
+}
+
+// uniformPickerFrom returns an OVER edge-endpoint picker whose walks start
+// at the fixed vertex `start` (used when the wired vertex itself has no
+// edges yet).
+func (w *World) uniformPickerFrom(start ids.ClusterID) func(ids.ClusterID) (ids.ClusterID, bool) {
+	return func(ids.ClusterID) (ids.ClusterID, bool) {
+		if !w.overlay.Has(start) {
+			return 0, false
+		}
+		out, err := w.walker.Uniform(w.led, w.rng, start)
+		if err != nil {
+			return 0, false
+		}
+		if out.Hijacked {
+			w.stats.HijackedWalks++
+		}
+		return out.End, true
+	}
+}
+
+// uniformPickerFromSelf starts each walk at the vertex being repaired.
+func (w *World) uniformPickerFromSelf() func(ids.ClusterID) (ids.ClusterID, bool) {
+	return func(from ids.ClusterID) (ids.ClusterID, bool) {
+		if !w.overlay.Has(from) {
+			return 0, false
+		}
+		out, err := w.walker.Uniform(w.led, w.rng, from)
+		if err != nil {
+			return 0, false
+		}
+		if out.Hijacked {
+			w.stats.HijackedWalks++
+		}
+		return out.End, true
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nowover/internal/ids"
+	"nowover/internal/xrand"
+)
+
+// TestRandomOpScriptsPreserveConsistency drives worlds through random
+// operation scripts derived from quick-check inputs and asserts full
+// bookkeeping consistency plus structural invariants after every script.
+func TestRandomOpScriptsPreserveConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	check := func(seed uint64, script []byte) bool {
+		cfg := DefaultConfig(512)
+		cfg.Seed = seed
+		w, err := NewWorld(cfg)
+		if err != nil {
+			return false
+		}
+		if err := w.Bootstrap(200, func(slot int) bool { return slot%5 == 0 }); err != nil {
+			return false
+		}
+		r := xrand.New(seed ^ 0xF00D)
+		if len(script) > 60 {
+			script = script[:60]
+		}
+		for _, op := range script {
+			switch op % 4 {
+			case 0, 1: // join (honest or byzantine by op parity)
+				if w.NumNodes() >= cfg.N {
+					continue
+				}
+				if _, err := w.JoinAuto(op&8 != 0); err != nil {
+					t.Logf("join failed: %v", err)
+					return false
+				}
+			case 2: // leave a random node
+				if w.NumNodes() <= 2*cfg.TargetClusterSize() {
+					continue
+				}
+				x, ok := w.RandomNode(r)
+				if !ok {
+					continue
+				}
+				if err := w.Leave(x); err != nil {
+					t.Logf("leave failed: %v", err)
+					return false
+				}
+			case 3: // force-exchange a random cluster
+				c, ok := w.RandomCluster(r)
+				if !ok {
+					continue
+				}
+				if err := w.ForceExchange(c); err != nil {
+					t.Logf("exchange failed: %v", err)
+					return false
+				}
+			}
+		}
+		if err := w.CheckConsistency(); err != nil {
+			t.Logf("consistency: %v", err)
+			return false
+		}
+		a := w.Audit()
+		if a.MaxSize > cfg.SplitThreshold() || (a.Clusters > 1 && a.MinSize < a.SizeLo && a.MinSize > 0) {
+			t.Logf("size bounds violated: %+v", a)
+			return false
+		}
+		return a.OverlayConnected
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExchangeIsPopulationPermutation: any number of forced exchanges is a
+// permutation of the node population — nothing created, lost, or
+// duplicated, and Byzantine count invariant.
+func TestExchangeIsPopulationPermutation(t *testing.T) {
+	cfg := DefaultConfig(1024)
+	cfg.Seed = 77
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bootstrap(400, func(slot int) bool { return slot < 100 }); err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[ids.NodeID]bool, 400)
+	for _, c := range w.Clusters() {
+		for _, x := range w.Members(c) {
+			if before[x] {
+				t.Fatalf("node %v in two clusters", x)
+			}
+			before[x] = true
+		}
+	}
+	for i := 0; i < 10; i++ {
+		c, _ := w.RandomCluster(w.Rng())
+		if err := w.ForceExchange(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := 0
+	for _, c := range w.Clusters() {
+		for _, x := range w.Members(c) {
+			if !before[x] {
+				t.Fatalf("unknown node %v appeared", x)
+			}
+			after++
+		}
+	}
+	if after != 400 {
+		t.Fatalf("population %d after exchanges, want 400", after)
+	}
+	if w.NumByzantine() != 100 {
+		t.Fatalf("byzantine count %d, want 100", w.NumByzantine())
+	}
+}
+
+// TestSetCorruptedRoundTrip exercises the experiment hook's bookkeeping.
+func TestSetCorruptedRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(512)
+	cfg.Seed = 5
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bootstrap(200, nil); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := w.RandomNode(xrand.New(1))
+	c, _ := w.ClusterOf(x)
+	byzBefore := w.Byz(c)
+	if err := w.SetCorrupted(x, true); err != nil {
+		t.Fatal(err)
+	}
+	if !w.IsByzantine(x) || w.Byz(c) != byzBefore+1 || w.NumByzantine() != 1 {
+		t.Fatal("corruption bookkeeping broken")
+	}
+	if err := w.SetCorrupted(x, true); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if w.NumByzantine() != 1 {
+		t.Fatal("double corruption double-counted")
+	}
+	if err := w.SetCorrupted(x, false); err != nil {
+		t.Fatal(err)
+	}
+	if w.IsByzantine(x) || w.Byz(c) != byzBefore || w.NumByzantine() != 0 {
+		t.Fatal("un-corruption bookkeeping broken")
+	}
+	if err := w.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetCorrupted(ids.NodeID(1<<40), true); err == nil {
+		t.Fatal("corrupting unknown node accepted")
+	}
+}
+
+// TestLedgerMonotone: operation costs only ever accumulate.
+func TestLedgerMonotone(t *testing.T) {
+	cfg := DefaultConfig(512)
+	cfg.Seed = 9
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bootstrap(200, nil); err != nil {
+		t.Fatal(err)
+	}
+	prev := w.Ledger().Messages()
+	for i := 0; i < 10; i++ {
+		if _, err := w.JoinAuto(false); err != nil {
+			t.Fatal(err)
+		}
+		cur := w.Ledger().Messages()
+		if cur <= prev {
+			t.Fatalf("ledger did not grow: %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+// TestWalkTopologyViewConsistency: the world's walk.Topology view agrees
+// with its membership bookkeeping at all times.
+func TestWalkTopologyViewConsistency(t *testing.T) {
+	cfg := DefaultConfig(512)
+	cfg.Seed = 13
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bootstrap(250, func(slot int) bool { return slot < 50 }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := w.JoinAuto(false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	maxSize := 0
+	for _, c := range w.Clusters() {
+		if got, want := w.Size(c), len(w.Members(c)); got != want {
+			t.Fatalf("Size(%v)=%d vs members %d", c, got, want)
+		}
+		byz := 0
+		for _, x := range w.Members(c) {
+			if w.IsByzantine(x) {
+				byz++
+			}
+		}
+		if got := w.Byz(c); got != byz {
+			t.Fatalf("Byz(%v)=%d vs recount %d", c, got, byz)
+		}
+		if w.Size(c) > maxSize {
+			maxSize = w.Size(c)
+		}
+		for i, d := 0, w.Degree(c); i < d; i++ {
+			nb := w.NeighborAt(c, i)
+			if w.Size(nb) == 0 {
+				t.Fatalf("neighbor %v of %v has no members", nb, c)
+			}
+		}
+	}
+	if w.MaxClusterSize() != maxSize {
+		t.Fatalf("MaxClusterSize %d vs recount %d", w.MaxClusterSize(), maxSize)
+	}
+	if w.NumOverlayEdges() != w.Overlay().NumEdges() {
+		t.Fatal("edge count views disagree")
+	}
+}

@@ -1,0 +1,521 @@
+package core
+
+import (
+	"fmt"
+
+	"nowover/internal/exchange"
+	"nowover/internal/ids"
+	"nowover/internal/metrics"
+	"nowover/internal/over"
+	"nowover/internal/randnum"
+	"nowover/internal/walk"
+	"nowover/internal/xrand"
+)
+
+// nodeInfo is the world's per-node record.
+type nodeInfo struct {
+	cluster ids.ClusterID
+	byz     bool
+}
+
+// clusterState is the world's per-cluster record: member list with a
+// position index for O(1) removal, plus an incremental Byzantine count.
+type clusterState struct {
+	members []ids.NodeID
+	pos     map[ids.NodeID]int
+	byz     int
+}
+
+func (cs *clusterState) add(x ids.NodeID, byz bool) {
+	cs.pos[x] = len(cs.members)
+	cs.members = append(cs.members, x)
+	if byz {
+		cs.byz++
+	}
+}
+
+func (cs *clusterState) remove(x ids.NodeID, byz bool) error {
+	i, ok := cs.pos[x]
+	if !ok {
+		return fmt.Errorf("core: node %v not in cluster", x)
+	}
+	last := len(cs.members) - 1
+	moved := cs.members[last]
+	cs.members[i] = moved
+	cs.pos[moved] = i
+	cs.members = cs.members[:last]
+	delete(cs.pos, x)
+	if byz {
+		cs.byz--
+	}
+	return nil
+}
+
+// Stats accumulates protocol-lifetime counters and security high-water
+// marks.
+type Stats struct {
+	Joins, Leaves, Splits, Merges int64
+	// Rejoins counts re-insertions of merge-displaced nodes; each is also
+	// counted in Joins (a rejoin executes the Join operation).
+	Rejoins int64
+	// Swaps counts individual node exchanges.
+	Swaps int64
+	// HijackedWalks counts walks redirected through captured clusters.
+	HijackedWalks int64
+	// DegradedEvents / CapturedEvents count transitions of a cluster into
+	// the >=1/3-Byzantine and >=1/2-Byzantine states. These are the
+	// security failures whose absence Theorem 3 guarantees.
+	DegradedEvents, CapturedEvents int64
+	// MaxByzFractionEver is the worst per-cluster Byzantine fraction
+	// observed at any point in the run.
+	MaxByzFractionEver float64
+}
+
+// hijackProxy lets the adversary be installed after World construction.
+type hijackProxy struct{ h walk.Hijacker }
+
+func (p *hijackProxy) Redirect(at ids.ClusterID) (ids.ClusterID, bool) {
+	if p.h == nil {
+		return 0, false
+	}
+	return p.h.Redirect(at)
+}
+
+// World is the complete NOW protocol state. It is not safe for concurrent
+// use; the paper's model is synchronous and the simulator single-threaded.
+type World struct {
+	cfg Config
+	led *metrics.Ledger
+	rng *xrand.Rand
+
+	nodes    map[ids.NodeID]nodeInfo
+	clusters map[ids.ClusterID]*clusterState
+	overlay  *over.Overlay
+
+	nodeAlloc ids.NodeAllocator
+	clAlloc   ids.ClusterAllocator
+
+	// Flat node indexes for O(1) uniform sampling by workloads.
+	allNodes []ids.NodeID
+	nodePos  map[ids.NodeID]int
+	byzNodes []ids.NodeID
+	byzPos   map[ids.NodeID]int
+
+	// sizeCount is a multiset of cluster sizes maintaining MaxClusterSize
+	// in O(1) amortized.
+	sizeCount map[int]int
+	maxSize   int
+
+	// degraded is the live per-cluster security classification, updated on
+	// every transfer. It reflects mid-operation transients (a split's
+	// half-populated destination, a cluster one member short between the
+	// two legs of a swap) and is what walks consult for capture.
+	degraded map[ids.ClusterID]randnum.Security
+	// settled is the classification at the last operation boundary; event
+	// counters and high-water marks advance only on settled transitions,
+	// matching the paper's per-time-step semantics.
+	settled map[ids.ClusterID]randnum.Security
+
+	walker *walk.Walker
+	exch   *exchange.Exchanger
+	hijack *hijackProxy
+	steer  func(ids.ClusterID) float64
+
+	pendingRejoin []ids.NodeID
+	rejoinByz     map[ids.NodeID]bool
+	stats         Stats
+	bootstrapped  bool
+}
+
+// Interface compliance: the world is the topology the primitives run over.
+var (
+	_ walk.Topology  = (*World)(nil)
+	_ exchange.World = (*World)(nil)
+)
+
+// NewWorld returns an empty world; call Bootstrap before operations.
+func NewWorld(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ov, err := over.New(over.Params{
+		TargetDegree: cfg.TargetDegree(),
+		DegreeCap:    cfg.DegreeCap(),
+		DegreeFloor:  cfg.DegreeFloor(),
+		Repair:       cfg.OverlayRepair,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		cfg:       cfg,
+		led:       &metrics.Ledger{},
+		rng:       xrand.New(cfg.Seed),
+		nodes:     make(map[ids.NodeID]nodeInfo),
+		clusters:  make(map[ids.ClusterID]*clusterState),
+		overlay:   ov,
+		nodePos:   make(map[ids.NodeID]int),
+		byzPos:    make(map[ids.NodeID]int),
+		sizeCount: make(map[int]int),
+		degraded:  make(map[ids.ClusterID]randnum.Security),
+		settled:   make(map[ids.ClusterID]randnum.Security),
+		rejoinByz: make(map[ids.NodeID]bool),
+		hijack:    &hijackProxy{},
+	}
+	walker, err := walk.NewWalker(walk.Config{
+		DurationFactor: cfg.WalkDurationFactor,
+		MaxRestarts:    cfg.MaxWalkRestarts,
+		Gen:            cfg.Generator,
+		Hijack:         w.hijack,
+		Steer:          func(c ids.ClusterID) float64 { return w.steerScore(c) },
+	}, w)
+	if err != nil {
+		return nil, err
+	}
+	w.walker = walker
+	exch, err := exchange.New(w, walker, cfg.Generator)
+	if err != nil {
+		return nil, err
+	}
+	w.exch = exch
+	return w, nil
+}
+
+func (w *World) steerScore(c ids.ClusterID) float64 {
+	if w.steer == nil {
+		return 0
+	}
+	return w.steer(c)
+}
+
+// SetHijacker installs (or clears) the adversary's captured-cluster walk
+// redirection hook.
+func (w *World) SetHijacker(h walk.Hijacker) { w.hijack.h = h }
+
+// SetSteer installs (or clears) the adversary's scoring of clusters used to
+// bias last-revealer randomness (only effective with a biasable generator).
+func (w *World) SetSteer(f func(ids.ClusterID) float64) { w.steer = f }
+
+// Config returns the world's configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Ledger returns the world's cost ledger.
+func (w *World) Ledger() *metrics.Ledger { return w.led }
+
+// Stats returns the lifetime counters.
+func (w *World) Stats() Stats { return w.stats }
+
+// --- walk.Topology ---
+
+// NumClusters implements walk.Topology.
+func (w *World) NumClusters() int { return len(w.clusters) }
+
+// NumOverlayEdges implements walk.Topology.
+func (w *World) NumOverlayEdges() int { return w.overlay.NumEdges() }
+
+// Degree implements walk.Topology.
+func (w *World) Degree(c ids.ClusterID) int { return w.overlay.Degree(c) }
+
+// NeighborAt implements walk.Topology.
+func (w *World) NeighborAt(c ids.ClusterID, i int) ids.ClusterID { return w.overlay.NeighborAt(c, i) }
+
+// Size implements walk.Topology.
+func (w *World) Size(c ids.ClusterID) int {
+	if cs, ok := w.clusters[c]; ok {
+		return len(cs.members)
+	}
+	return 0
+}
+
+// Byz implements walk.Topology.
+func (w *World) Byz(c ids.ClusterID) int {
+	if cs, ok := w.clusters[c]; ok {
+		return cs.byz
+	}
+	return 0
+}
+
+// MaxClusterSize implements walk.Topology.
+func (w *World) MaxClusterSize() int { return w.maxSize }
+
+// --- exchange.World ---
+
+// MemberAt implements exchange.World.
+func (w *World) MemberAt(c ids.ClusterID, i int) ids.NodeID {
+	return w.clusters[c].members[i]
+}
+
+// Members implements exchange.World (snapshot copy).
+func (w *World) Members(c ids.ClusterID) []ids.NodeID {
+	cs, ok := w.clusters[c]
+	if !ok {
+		return nil
+	}
+	out := make([]ids.NodeID, len(cs.members))
+	copy(out, cs.members)
+	return out
+}
+
+// Transfer implements exchange.World: move x between clusters with all
+// bookkeeping (membership, Byzantine counts, size multiset, security
+// classification).
+func (w *World) Transfer(x ids.NodeID, from, to ids.ClusterID) error {
+	info, ok := w.nodes[x]
+	if !ok {
+		return fmt.Errorf("core: transfer of unknown node %v", x)
+	}
+	if info.cluster != from {
+		return fmt.Errorf("core: node %v is in %v, not %v", x, info.cluster, from)
+	}
+	src, ok := w.clusters[from]
+	if !ok {
+		return fmt.Errorf("core: transfer from unknown cluster %v", from)
+	}
+	dst, ok := w.clusters[to]
+	if !ok {
+		return fmt.Errorf("core: transfer to unknown cluster %v", to)
+	}
+	w.noteSizeChange(from, len(src.members), len(src.members)-1)
+	w.noteSizeChange(to, len(dst.members), len(dst.members)+1)
+	if err := src.remove(x, info.byz); err != nil {
+		return err
+	}
+	dst.add(x, info.byz)
+	info.cluster = to
+	w.nodes[x] = info
+	w.reclassify(from)
+	w.reclassify(to)
+	w.stats.Swaps++
+	return nil
+}
+
+// --- bookkeeping helpers ---
+
+// noteSizeChange updates the size multiset and the max-size tracker for a
+// cluster moving from size a to size b.
+func (w *World) noteSizeChange(_ ids.ClusterID, a, b int) {
+	if a == b {
+		return
+	}
+	if a > 0 {
+		w.sizeCount[a]--
+		if w.sizeCount[a] == 0 {
+			delete(w.sizeCount, a)
+		}
+	}
+	if b > 0 {
+		w.sizeCount[b]++
+	}
+	if b > w.maxSize {
+		w.maxSize = b
+	} else if a == w.maxSize && w.sizeCount[a] == 0 {
+		// The (possibly unique) largest cluster shrank: scan down. Sizes
+		// are O(log N), so this is trivial.
+		m := 0
+		for s := range w.sizeCount {
+			if s > m {
+				m = s
+			}
+		}
+		w.maxSize = m
+	}
+}
+
+// reclassify recomputes a cluster's live security level. Event counters
+// are NOT advanced here — transients inside one operation are not time
+// step states; settleSecurity handles accounting at operation boundaries.
+func (w *World) reclassify(c ids.ClusterID) {
+	cs, ok := w.clusters[c]
+	if !ok || len(cs.members) == 0 {
+		delete(w.degraded, c)
+		return
+	}
+	now := randnum.Classify(len(cs.members), cs.byz)
+	if now == randnum.Secure {
+		delete(w.degraded, c)
+	} else {
+		w.degraded[c] = now
+	}
+}
+
+// settleSecurity advances the security accounting to the current state:
+// called at the end of every public operation (= paper time step). It
+// counts transitions into the degraded (>= 1/3) and captured (>= 1/2)
+// states and tracks the worst per-cluster Byzantine fraction.
+func (w *World) settleSecurity() {
+	for c, cs := range w.clusters {
+		size := len(cs.members)
+		if size == 0 {
+			delete(w.settled, c)
+			continue
+		}
+		if frac := float64(cs.byz) / float64(size); frac > w.stats.MaxByzFractionEver {
+			w.stats.MaxByzFractionEver = frac
+		}
+		now := randnum.Classify(size, cs.byz)
+		prev := w.settled[c]
+		if now > prev {
+			if now >= randnum.Degraded && prev < randnum.Degraded {
+				w.stats.DegradedEvents++
+			}
+			if now == randnum.Captured && prev < randnum.Captured {
+				w.stats.CapturedEvents++
+			}
+		}
+		if now == randnum.Secure {
+			delete(w.settled, c)
+		} else {
+			w.settled[c] = now
+		}
+	}
+	// Drop settled entries for clusters that no longer exist.
+	for c := range w.settled {
+		if _, ok := w.clusters[c]; !ok {
+			delete(w.settled, c)
+		}
+	}
+}
+
+// registerNode inserts a brand-new (or rejoining) node record into the
+// flat indexes.
+func (w *World) registerNode(x ids.NodeID, byz bool, c ids.ClusterID) {
+	w.nodes[x] = nodeInfo{cluster: c, byz: byz}
+	w.nodePos[x] = len(w.allNodes)
+	w.allNodes = append(w.allNodes, x)
+	if byz {
+		w.byzPos[x] = len(w.byzNodes)
+		w.byzNodes = append(w.byzNodes, x)
+	}
+}
+
+// unregisterNode removes a node record from the flat indexes.
+func (w *World) unregisterNode(x ids.NodeID) {
+	info := w.nodes[x]
+	delete(w.nodes, x)
+	i := w.nodePos[x]
+	last := len(w.allNodes) - 1
+	moved := w.allNodes[last]
+	w.allNodes[i] = moved
+	w.nodePos[moved] = i
+	w.allNodes = w.allNodes[:last]
+	delete(w.nodePos, x)
+	if info.byz {
+		j := w.byzPos[x]
+		lastB := len(w.byzNodes) - 1
+		movedB := w.byzNodes[lastB]
+		w.byzNodes[j] = movedB
+		w.byzPos[movedB] = j
+		w.byzNodes = w.byzNodes[:lastB]
+		delete(w.byzPos, x)
+	}
+}
+
+// --- public read accessors ---
+
+// NumNodes returns the current network size n.
+func (w *World) NumNodes() int { return len(w.nodes) }
+
+// NumByzantine returns the number of Byzantine nodes currently present.
+func (w *World) NumByzantine() int { return len(w.byzNodes) }
+
+// Clusters returns the current cluster IDs (overlay insertion order).
+func (w *World) Clusters() []ids.ClusterID { return w.overlay.Vertices() }
+
+// ClusterOf returns the cluster containing x.
+func (w *World) ClusterOf(x ids.NodeID) (ids.ClusterID, bool) {
+	info, ok := w.nodes[x]
+	return info.cluster, ok
+}
+
+// IsByzantine reports whether x is adversary-controlled.
+func (w *World) IsByzantine(x ids.NodeID) bool { return w.nodes[x].byz }
+
+// Contains reports whether x is currently in the network.
+func (w *World) Contains(x ids.NodeID) bool {
+	_, ok := w.nodes[x]
+	return ok
+}
+
+// RandomNode returns a uniform member of the network.
+func (w *World) RandomNode(r *xrand.Rand) (ids.NodeID, bool) {
+	if len(w.allNodes) == 0 {
+		return 0, false
+	}
+	return w.allNodes[r.Intn(len(w.allNodes))], true
+}
+
+// RandomHonestNode returns a uniform honest member (rejection sampling;
+// honest nodes are a >2/3 majority so this terminates fast).
+func (w *World) RandomHonestNode(r *xrand.Rand) (ids.NodeID, bool) {
+	if len(w.allNodes) == len(w.byzNodes) {
+		return 0, false
+	}
+	for {
+		x := w.allNodes[r.Intn(len(w.allNodes))]
+		if !w.nodes[x].byz {
+			return x, true
+		}
+	}
+}
+
+// RandomByzantineNode returns a uniform Byzantine member.
+func (w *World) RandomByzantineNode(r *xrand.Rand) (ids.NodeID, bool) {
+	if len(w.byzNodes) == 0 {
+		return 0, false
+	}
+	return w.byzNodes[r.Intn(len(w.byzNodes))], true
+}
+
+// RandomCluster returns a uniform cluster ID (used for join contacts).
+func (w *World) RandomCluster(r *xrand.Rand) (ids.ClusterID, bool) {
+	vs := w.overlay.Vertices()
+	if len(vs) == 0 {
+		return 0, false
+	}
+	return vs[r.Intn(len(vs))], true
+}
+
+// CurrentInsecure returns the number of clusters presently at or above
+// the 1/3 (degraded) and 1/2 (captured) Byzantine thresholds, maintained
+// incrementally so the check is O(insecure clusters).
+func (w *World) CurrentInsecure() (degraded, captured int) {
+	for _, sec := range w.degraded {
+		switch sec {
+		case randnum.Degraded:
+			degraded++
+		case randnum.Captured:
+			degraded++
+			captured++
+		}
+	}
+	return degraded, captured
+}
+
+// Overlay exposes the OVER overlay for structural analysis. Callers must
+// not mutate it.
+func (w *World) Overlay() *over.Overlay { return w.overlay }
+
+// Rng exposes the world's random stream for workloads that must share the
+// run's determinism.
+func (w *World) Rng() *xrand.Rand { return w.rng }
+
+// Walker exposes the world's CTRW walker so applications (sampling,
+// overlay maintenance by embedders) can run walks over the live topology.
+func (w *World) Walker() *walk.Walker { return w.walker }
+
+// Generator exposes the configured randNum construction.
+func (w *World) Generator() randnum.Generator { return w.cfg.Generator }
+
+// PendingRejoins drains the queue of nodes displaced by MergeRejoinAll;
+// the simulator re-joins them on subsequent time steps.
+func (w *World) PendingRejoins() []ids.NodeID {
+	out := w.pendingRejoin
+	w.pendingRejoin = nil
+	return out
+}
+
+// NodeIsQueued reports whether x awaits rejoin (MergeRejoinAll only).
+func (w *World) NodeIsQueued(x ids.NodeID) bool {
+	_, ok := w.rejoinByz[x]
+	return ok
+}

@@ -1,0 +1,151 @@
+package discovery
+
+import (
+	"testing"
+
+	"nowover/internal/graph"
+	"nowover/internal/ids"
+	"nowover/internal/metrics"
+	"nowover/internal/xrand"
+)
+
+func nodeIDs(n int) []ids.NodeID {
+	out := make([]ids.NodeID, n)
+	for i := range out {
+		out[i] = ids.NodeID(i)
+	}
+	return out
+}
+
+func allHonest(ids.NodeID) bool { return true }
+
+func TestEmptyGraphRejected(t *testing.T) {
+	var led metrics.Ledger
+	if _, err := Run(&led, graph.New[ids.NodeID](), allHonest); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestPathGraphCompletes(t *testing.T) {
+	g := graph.New[ids.NodeID]()
+	vs := nodeIDs(10)
+	for _, v := range vs {
+		g.AddVertex(v)
+	}
+	for i := 0; i+1 < len(vs); i++ {
+		if err := g.AddEdge(vs[i], vs[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var led metrics.Ledger
+	rep, err := Run(&led, g, allHonest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatal("flooding on a path did not complete")
+	}
+	// Knowledge must traverse the diameter: ends know each other only
+	// after ~n-2 relay rounds (neighbors are known at round 0).
+	if rep.Rounds < 7 || rep.Rounds > 11 {
+		t.Errorf("rounds = %d, want ~8-10 on a 10-path", rep.Rounds)
+	}
+	if rep.Messages == 0 || led.MessagesBy(metrics.ClassDiscovery) != rep.Messages {
+		t.Errorf("message accounting inconsistent: %d vs ledger %d",
+			rep.Messages, led.MessagesBy(metrics.ClassDiscovery))
+	}
+}
+
+func TestCompleteGraphFast(t *testing.T) {
+	g := graph.New[ids.NodeID]()
+	vs := nodeIDs(12)
+	for _, v := range vs {
+		g.AddVertex(v)
+	}
+	if err := graph.Complete(g, vs); err != nil {
+		t.Fatal(err)
+	}
+	var led metrics.Ledger
+	rep, err := Run(&led, g, allHonest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatal("incomplete on K12")
+	}
+	if rep.Rounds > 2 {
+		t.Errorf("rounds = %d on a complete graph", rep.Rounds)
+	}
+}
+
+func TestByzantineRelaysBlocked(t *testing.T) {
+	// Path a - b - c with b Byzantine: a and c never learn of each other
+	// (the honest subgraph is disconnected, violating the model
+	// assumption) -> Complete must be false.
+	g := graph.New[ids.NodeID]()
+	for _, v := range nodeIDs(3) {
+		g.AddVertex(v)
+	}
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	var led metrics.Ledger
+	rep, err := Run(&led, g, func(x ids.NodeID) bool { return x != 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete {
+		t.Fatal("discovery claimed completion across a Byzantine cut vertex")
+	}
+}
+
+func TestByzantineOnFringeDoesNotBlock(t *testing.T) {
+	// Honest ring with Byzantine nodes hanging off it (each adjacent to an
+	// honest node): the paper's model assumptions hold, so every honest
+	// node must learn all identities including the Byzantine ones.
+	g := graph.New[ids.NodeID]()
+	honestCount := 8
+	total := 12
+	vs := nodeIDs(total)
+	for _, v := range vs {
+		g.AddVertex(v)
+	}
+	for i := 0; i < honestCount; i++ {
+		_ = g.AddEdge(vs[i], vs[(i+1)%honestCount])
+	}
+	for i := honestCount; i < total; i++ {
+		_ = g.AddEdge(vs[i], vs[i%honestCount])
+	}
+	var led metrics.Ledger
+	rep, err := Run(&led, g, func(x ids.NodeID) bool { return int(x) < honestCount })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatal("discovery failed with fringe Byzantine nodes")
+	}
+}
+
+func TestMessageBoundAgainstPaper(t *testing.T) {
+	// Communication must stay within the paper's O(n*e) envelope.
+	r := xrand.New(1)
+	g := graph.New[ids.NodeID]()
+	vs := nodeIDs(128)
+	for _, v := range vs {
+		g.AddVertex(v)
+	}
+	if err := graph.RandomRegularish(g, r, vs, 6); err != nil {
+		t.Fatal(err)
+	}
+	var led metrics.Ledger
+	rep, err := Run(&led, g, allHonest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatal("incomplete on expander")
+	}
+	bound := int64(rep.Nodes) * int64(rep.Edges)
+	if rep.Messages > bound {
+		t.Errorf("messages %d exceed n*e = %d", rep.Messages, bound)
+	}
+}

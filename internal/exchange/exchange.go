@@ -1,0 +1,154 @@
+// Package exchange implements the paper's node-shuffling primitive
+// (section 3.1): a cluster C exchanges each of its nodes with a node chosen
+// uniformly at random from the whole network. For every member x of C, a
+// partner cluster C' is selected with probability |C'|/n via the biased
+// CTRW (randCl); C' picks one of its members uniformly via randNum and the
+// two nodes swap clusters. Shuffling is what prevents the adversary from
+// gradually polluting a single cluster through join-leave churn (section
+// 3.3), and Lemmas 1-3 analyze exactly this process.
+//
+// Costs follow the paper's accounting: each swap pays its walk, the
+// membership installation messages for both moved nodes, and composition
+// updates to every cluster adjacent to C and C' (a node accepts a message
+// from a neighboring cluster only when more than half of that cluster's
+// members send it, so composition must be propagated eagerly).
+package exchange
+
+import (
+	"fmt"
+
+	"nowover/internal/ids"
+	"nowover/internal/metrics"
+	"nowover/internal/randnum"
+	"nowover/internal/walk"
+	"nowover/internal/xrand"
+)
+
+// World is the mutable view of the cluster partition the shuffle needs; the
+// NOW world implements it. It extends the walk topology with membership
+// access and the transfer operation.
+type World interface {
+	walk.Topology
+	// MemberAt returns the i-th member of c, 0 <= i < Size(c).
+	MemberAt(c ids.ClusterID, i int) ids.NodeID
+	// Members returns a snapshot copy of c's member list.
+	Members(c ids.ClusterID) []ids.NodeID
+	// Transfer moves node x from cluster `from` to cluster `to`, updating
+	// all membership bookkeeping.
+	Transfer(x ids.NodeID, from, to ids.ClusterID) error
+}
+
+// Report summarizes one exchange operation.
+type Report struct {
+	Swaps     int // completed swaps with a distinct partner cluster
+	SelfSwaps int // walks that ended at C itself (no movement)
+	Hops      int // total walk hops across all swaps
+	Hijacked  int // walks redirected by the adversary
+	// Receivers lists the distinct partner clusters that received a node
+	// from C; the leave operation cascades an exchange onto each.
+	Receivers []ids.ClusterID
+	// WorstSecurity is the weakest randnum security observed.
+	WorstSecurity randnum.Security
+}
+
+// Exchanger runs exchange operations.
+type Exchanger struct {
+	world  World
+	walker *walk.Walker
+	gen    randnum.Generator
+}
+
+// New returns an Exchanger bound to the world.
+func New(world World, walker *walk.Walker, gen randnum.Generator) (*Exchanger, error) {
+	if world == nil || walker == nil || gen == nil {
+		return nil, fmt.Errorf("exchange: nil dependency")
+	}
+	return &Exchanger{world: world, walker: walker, gen: gen}, nil
+}
+
+// Run shuffles every node of c per the protocol and returns the report.
+func (e *Exchanger) Run(led *metrics.Ledger, r *xrand.Rand, c ids.ClusterID) (Report, error) {
+	rep := Report{}
+	seen := make(map[ids.ClusterID]bool)
+	// Snapshot: the protocol exchanges the nodes that are members when the
+	// operation starts; replacement nodes arriving mid-operation are not
+	// re-exchanged.
+	members := e.world.Members(c)
+	for _, x := range members {
+		out, err := e.walker.Biased(led, r, c)
+		if err != nil {
+			return rep, fmt.Errorf("exchange: walk from %v: %w", c, err)
+		}
+		rep.Hops += out.Hops
+		if out.Hijacked {
+			rep.Hijacked++
+		}
+		if out.WorstSecurity > rep.WorstSecurity {
+			rep.WorstSecurity = out.WorstSecurity
+		}
+		partner := out.End
+		if partner == c {
+			rep.SelfSwaps++
+			continue
+		}
+		// C' picks the replacement node uniformly via randNum.
+		idx, sec, err := e.gen.Draw(led, r, randnum.Params{
+			Size: e.world.Size(partner),
+			Byz:  e.world.Byz(partner),
+			R:    int64(e.world.Size(partner)),
+		}, nil)
+		if err != nil {
+			return rep, fmt.Errorf("exchange: partner draw at %v: %w", partner, err)
+		}
+		if sec > rep.WorstSecurity {
+			rep.WorstSecurity = sec
+		}
+		y := e.world.MemberAt(partner, int(idx))
+		if err := e.world.Transfer(x, c, partner); err != nil {
+			return rep, fmt.Errorf("exchange: %w", err)
+		}
+		if err := e.world.Transfer(y, partner, c); err != nil {
+			return rep, fmt.Errorf("exchange: %w", err)
+		}
+		e.chargeSwap(led, c, partner)
+		rep.Swaps++
+		if !seen[partner] {
+			seen[partner] = true
+			rep.Receivers = append(rep.Receivers, partner)
+		}
+	}
+	return rep, nil
+}
+
+// chargeSwap applies the per-swap cost model: installation state for the
+// two moved nodes (each learns its new cluster's membership and the
+// membership of every adjacent cluster) plus composition updates to all
+// neighbors of both clusters.
+func (e *Exchanger) chargeSwap(led *metrics.Ledger, c, partner ids.ClusterID) {
+	install := int64(e.world.Size(c)) + int64(e.world.Size(partner))
+	install += e.neighborMass(c) + e.neighborMass(partner)
+	led.Charge(metrics.ClassExchange, install)
+	led.Charge(metrics.ClassInterCluster, e.compositionUpdate(c)+e.compositionUpdate(partner))
+	led.AddRounds(2)
+}
+
+// neighborMass is the number of nodes in clusters adjacent to c (the moved
+// node must learn their identities).
+func (e *Exchanger) neighborMass(c ids.ClusterID) int64 {
+	var total int64
+	for i, d := 0, e.world.Degree(c); i < d; i++ {
+		total += int64(e.world.Size(e.world.NeighborAt(c, i)))
+	}
+	return total
+}
+
+// compositionUpdate is the cost of telling every node of every neighbor of
+// c the new composition of c: sum over neighbors D of |C|*|D| messages.
+func (e *Exchanger) compositionUpdate(c ids.ClusterID) int64 {
+	size := int64(e.world.Size(c))
+	var total int64
+	for i, d := 0, e.world.Degree(c); i < d; i++ {
+		total += size * int64(e.world.Size(e.world.NeighborAt(c, i)))
+	}
+	return total
+}

@@ -1,0 +1,248 @@
+package exchange
+
+import (
+	"fmt"
+	"testing"
+
+	"nowover/internal/graph"
+	"nowover/internal/ids"
+	"nowover/internal/metrics"
+	"nowover/internal/randnum"
+	"nowover/internal/walk"
+	"nowover/internal/xrand"
+)
+
+// fakeWorld implements World over an explicit partition + overlay graph.
+type fakeWorld struct {
+	g       *graph.Graph[ids.ClusterID]
+	members map[ids.ClusterID][]ids.NodeID
+	byz     map[ids.NodeID]bool
+	home    map[ids.NodeID]ids.ClusterID
+	maxSz   int
+}
+
+func newFakeWorld(t *testing.T, clusters, size, degree int, seed uint64) *fakeWorld {
+	t.Helper()
+	fw := &fakeWorld{
+		g:       graph.New[ids.ClusterID](),
+		members: make(map[ids.ClusterID][]ids.NodeID),
+		byz:     make(map[ids.NodeID]bool),
+		home:    make(map[ids.NodeID]ids.ClusterID),
+		maxSz:   size,
+	}
+	var vs []ids.ClusterID
+	next := ids.NodeID(0)
+	for i := 0; i < clusters; i++ {
+		c := ids.ClusterID(i)
+		fw.g.AddVertex(c)
+		vs = append(vs, c)
+		for j := 0; j < size; j++ {
+			fw.members[c] = append(fw.members[c], next)
+			fw.home[next] = c
+			next++
+		}
+	}
+	if err := graph.RandomRegularish(fw.g, xrand.New(seed), vs, degree); err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+func (f *fakeWorld) NumClusters() int                                { return f.g.NumVertices() }
+func (f *fakeWorld) NumOverlayEdges() int                            { return f.g.NumEdges() }
+func (f *fakeWorld) Degree(c ids.ClusterID) int                      { return f.g.Degree(c) }
+func (f *fakeWorld) NeighborAt(c ids.ClusterID, i int) ids.ClusterID { return f.g.NeighborAt(c, i) }
+func (f *fakeWorld) Size(c ids.ClusterID) int                        { return len(f.members[c]) }
+func (f *fakeWorld) MaxClusterSize() int                             { return f.maxSz }
+func (f *fakeWorld) MemberAt(c ids.ClusterID, i int) ids.NodeID      { return f.members[c][i] }
+
+func (f *fakeWorld) Byz(c ids.ClusterID) int {
+	n := 0
+	for _, x := range f.members[c] {
+		if f.byz[x] {
+			n++
+		}
+	}
+	return n
+}
+
+func (f *fakeWorld) Members(c ids.ClusterID) []ids.NodeID {
+	out := make([]ids.NodeID, len(f.members[c]))
+	copy(out, f.members[c])
+	return out
+}
+
+func (f *fakeWorld) Transfer(x ids.NodeID, from, to ids.ClusterID) error {
+	if f.home[x] != from {
+		return fmt.Errorf("node %v not in %v", x, from)
+	}
+	lst := f.members[from]
+	for i, m := range lst {
+		if m == x {
+			f.members[from] = append(lst[:i], lst[i+1:]...)
+			break
+		}
+	}
+	f.members[to] = append(f.members[to], x)
+	f.home[x] = to
+	if len(f.members[to]) > f.maxSz {
+		f.maxSz = len(f.members[to])
+	}
+	return nil
+}
+
+var _ World = (*fakeWorld)(nil)
+
+func newExchanger(t *testing.T, fw *fakeWorld) *Exchanger {
+	t.Helper()
+	walker, err := walk.NewWalker(walk.Config{
+		DurationFactor: 1, MaxRestarts: 32, Gen: randnum.Ideal{},
+	}, fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(fw, walker, randnum.Ideal{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	fw := newFakeWorld(t, 4, 5, 2, 1)
+	walker, err := walk.NewWalker(walk.Config{DurationFactor: 1, MaxRestarts: 4, Gen: randnum.Ideal{}}, fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(nil, walker, randnum.Ideal{}); err == nil {
+		t.Error("nil world accepted")
+	}
+	if _, err := New(fw, nil, randnum.Ideal{}); err == nil {
+		t.Error("nil walker accepted")
+	}
+	if _, err := New(fw, walker, nil); err == nil {
+		t.Error("nil generator accepted")
+	}
+}
+
+func TestRunPreservesSizesAndPopulation(t *testing.T) {
+	fw := newFakeWorld(t, 10, 8, 4, 2)
+	e := newExchanger(t, fw)
+	var led metrics.Ledger
+	sizesBefore := make(map[ids.ClusterID]int)
+	for c := range fw.members {
+		sizesBefore[c] = len(fw.members[c])
+	}
+	total := len(fw.home)
+	rep, err := e.Run(&led, xrand.New(3), ids.ClusterID(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Swaps+rep.SelfSwaps != 8 {
+		t.Errorf("swaps+self = %d, want 8", rep.Swaps+rep.SelfSwaps)
+	}
+	for c, s := range sizesBefore {
+		if len(fw.members[c]) != s {
+			t.Errorf("cluster %v size changed %d -> %d", c, s, len(fw.members[c]))
+		}
+	}
+	if len(fw.home) != total {
+		t.Errorf("population changed: %d -> %d", total, len(fw.home))
+	}
+	// Every node lives where the index says.
+	for x, c := range fw.home {
+		found := false
+		for _, m := range fw.members[c] {
+			if m == x {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %v index points at %v but is not a member", x, c)
+		}
+	}
+}
+
+func TestRunMovesMostMembers(t *testing.T) {
+	fw := newFakeWorld(t, 12, 10, 4, 4)
+	e := newExchanger(t, fw)
+	var led metrics.Ledger
+	c0 := ids.ClusterID(0)
+	before := map[ids.NodeID]bool{}
+	for _, x := range fw.members[c0] {
+		before[x] = true
+	}
+	rep, err := e.Run(&led, xrand.New(5), c0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stayed := 0
+	for _, x := range fw.members[c0] {
+		if before[x] {
+			stayed++
+		}
+	}
+	// Each original member leaves unless its walk self-returned or it was
+	// randomly drawn back as some later replacement; most must move.
+	if stayed > rep.SelfSwaps+3 {
+		t.Errorf("%d of 10 members stayed (self-swaps %d)", stayed, rep.SelfSwaps)
+	}
+}
+
+func TestRunChargesAllClasses(t *testing.T) {
+	fw := newFakeWorld(t, 10, 8, 4, 6)
+	e := newExchanger(t, fw)
+	var led metrics.Ledger
+	if _, err := e.Run(&led, xrand.New(7), ids.ClusterID(1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, cls := range []metrics.Class{
+		metrics.ClassWalk, metrics.ClassRandNum,
+		metrics.ClassExchange, metrics.ClassInterCluster,
+	} {
+		if led.MessagesBy(cls) == 0 {
+			t.Errorf("no %v messages charged", cls)
+		}
+	}
+}
+
+func TestReceiversDistinct(t *testing.T) {
+	fw := newFakeWorld(t, 10, 8, 4, 8)
+	e := newExchanger(t, fw)
+	var led metrics.Ledger
+	rep, err := e.Run(&led, xrand.New(9), ids.ClusterID(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[ids.ClusterID]bool{}
+	for _, r := range rep.Receivers {
+		if seen[r] {
+			t.Errorf("receiver %v listed twice", r)
+		}
+		if r == ids.ClusterID(2) {
+			t.Error("cluster listed as its own receiver")
+		}
+		seen[r] = true
+	}
+	if len(rep.Receivers) == 0 && rep.Swaps > 0 {
+		t.Error("swaps happened but no receivers recorded")
+	}
+}
+
+func TestExchangeRandomizesByzantinePlacement(t *testing.T) {
+	// A fully-Byzantine cluster exchanged against an honest network must
+	// end up near the global Byzantine fraction — Lemma 1 in miniature.
+	fw := newFakeWorld(t, 20, 10, 5, 10)
+	target := ids.ClusterID(0)
+	for _, x := range fw.members[target] {
+		fw.byz[x] = true
+	}
+	e := newExchanger(t, fw)
+	var led metrics.Ledger
+	if _, err := e.Run(&led, xrand.New(11), target); err != nil {
+		t.Fatal(err)
+	}
+	if after := fw.Byz(target); after > 5 {
+		t.Errorf("byzantine members after exchange = %d of 10, want near global 5%%", after)
+	}
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"math"
+
+	"nowover/internal/core"
+	"nowover/internal/metrics"
+	"nowover/internal/sim"
+	"nowover/internal/xrand"
+)
+
+// midWorld bootstraps a world at n = N/2 (mid-regime) with the given tau.
+func midWorld(n int, tau float64, seed uint64, mutate func(*core.Config)) (*core.World, error) {
+	cfg := core.DefaultConfig(n)
+	cfg.Seed = seed
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	w, err := core.NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	byzBudget := int(tau * float64(n/2))
+	if err := w.Bootstrap(n/2, func(slot int) bool { return slot < byzBudget }); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// E4RandClCost measures the randCl primitive: the paper charges
+// O(log^5 N) messages, O(log^4 N) rounds and O(log^3 N) visited clusters
+// per biased walk. The polylog exponents are fitted from the N sweep.
+func E4RandClCost(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E4",
+		Title: "randCl (biased CTRW) cost per invocation",
+		Claim: "section 3.1: randCl costs O(log^5 N) msgs, O(log^4 N) rounds, visiting O(log^3 N) clusters",
+		Columns: []string{"N", "walks", "meanMsgs", "meanRounds", "meanHops",
+			"msgs/log^5N", "rounds/log^4N"},
+	}
+	var xs, msgsY, roundsY, hopsY []float64
+	for _, n := range s.Ns {
+		w, err := midWorld(n, 0.15, s.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		led := w.Ledger()
+		r := xrand.New(s.Seed ^ 0xE4)
+		var msgs, rounds, hops metrics.Welford
+		for i := 0; i < s.Walks; i++ {
+			start, _ := w.RandomCluster(r)
+			snap := led.Snapshot()
+			out, err := w.Walker().Biased(led, w.Rng(), start)
+			if err != nil {
+				return nil, err
+			}
+			cost := led.Since(snap)
+			msgs.Add(float64(cost.Messages))
+			rounds.Add(float64(cost.Rounds))
+			hops.Add(float64(out.Hops))
+		}
+		l := math.Log2(float64(n))
+		t.AddRow(n, s.Walks, msgs.Mean(), rounds.Mean(), hops.Mean(),
+			msgs.Mean()/math.Pow(l, 5), rounds.Mean()/math.Pow(l, 4))
+		xs = append(xs, float64(n))
+		msgsY = append(msgsY, msgs.Mean())
+		roundsY = append(roundsY, rounds.Mean())
+		hopsY = append(hopsY, hops.Mean())
+	}
+	if len(xs) >= 2 {
+		t.Notes = append(t.Notes,
+			noteFit("messages", xs, msgsY, 5),
+			noteFit("rounds", xs, roundsY, 4),
+			noteFit("hops", xs, hopsY, 3),
+		)
+	}
+	return t, nil
+}
+
+func noteFit(what string, xs, ys []float64, paperExp float64) string {
+	fit := metrics.FitPolylog(xs, ys)
+	return formatFitNote(what, fit, paperExp)
+}
+
+func formatFitNote(what string, fit metrics.LinearFit, paperExp float64) string {
+	return what + ": fitted polylog exponent " + formatFloat(fit.Slope) +
+		" (R2 " + formatFloat(fit.R2) + ") vs paper bound exponent " + formatFloat(paperExp) +
+		"; exponent fits over a narrow N range are indicative only (the per-N ratio columns are the sharper check)"
+}
+
+// E5ExchangeCost measures the exchange primitive: O(log^6 N) messages and
+// O(log^4 N) rounds per full-cluster shuffle.
+func E5ExchangeCost(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E5",
+		Title: "exchange (full-cluster shuffle) cost per invocation",
+		Claim: "section 3.1: exchange costs O(log^6 N) msgs and O(log^4 N) rounds",
+		Columns: []string{"N", "exchanges", "meanMsgs", "meanRounds",
+			"msgs/log^6N", "rounds/log^4N"},
+	}
+	var xs, msgsY, roundsY []float64
+	trials := 10 * s.Trials
+	for _, n := range s.Ns {
+		w, err := midWorld(n, 0.15, s.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		led := w.Ledger()
+		r := xrand.New(s.Seed ^ 0xE5)
+		var msgs, rounds metrics.Welford
+		for i := 0; i < trials; i++ {
+			c, _ := w.RandomCluster(r)
+			snap := led.Snapshot()
+			if err := w.ForceExchange(c); err != nil {
+				return nil, err
+			}
+			cost := led.Since(snap)
+			msgs.Add(float64(cost.Messages))
+			rounds.Add(float64(cost.Rounds))
+		}
+		l := math.Log2(float64(n))
+		t.AddRow(n, trials, msgs.Mean(), rounds.Mean(),
+			msgs.Mean()/math.Pow(l, 6), rounds.Mean()/math.Pow(l, 4))
+		xs = append(xs, float64(n))
+		msgsY = append(msgsY, msgs.Mean())
+		roundsY = append(roundsY, rounds.Mean())
+	}
+	if len(xs) >= 2 {
+		t.Notes = append(t.Notes,
+			noteFit("messages", xs, msgsY, 6),
+			noteFit("rounds", xs, roundsY, 4))
+	}
+	return t, nil
+}
+
+// E6OperationCost measures the maintenance operations end to end: join
+// and leave (with their induced exchanges, splits and merges) must stay
+// polylog(N) per the abstract and Figure 2.
+func E6OperationCost(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E6",
+		Title: "Join/Leave end-to-end cost (including induced split/merge)",
+		Claim: "abstract + Figure 2: every maintenance operation costs polylog(N) messages",
+		Columns: []string{"N", "ops", "join:mean", "join:p95", "leave:mean",
+			"leave:p95", "joinRounds", "leaveRounds"},
+	}
+	var xs, joinY, leaveY []float64
+	for _, n := range s.Ns {
+		cfg := sim.Config{
+			Core:          core.DefaultConfig(n),
+			InitialSize:   n / 2,
+			Tau:           0.15,
+			Steps:         int(s.OpsFactor * float64(n) / 2),
+			Seed:          s.Seed,
+			SampleOpCosts: true,
+		}
+		cfg.Core.Seed = s.Seed
+		runner, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runner.Run()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, res.Steps,
+			res.OpCosts.JoinMsgs.Mean(), res.OpCosts.JoinMsgs.Quantile(0.95),
+			res.OpCosts.LeaveMsgs.Mean(), res.OpCosts.LeaveMsgs.Quantile(0.95),
+			res.OpCosts.JoinRounds.Mean(), res.OpCosts.LeaveRounds.Mean())
+		xs = append(xs, float64(n))
+		joinY = append(joinY, res.OpCosts.JoinMsgs.Mean())
+		leaveY = append(leaveY, res.OpCosts.LeaveMsgs.Mean())
+	}
+	if len(xs) >= 2 {
+		joinFit := metrics.FitPolylog(xs, joinY)
+		leaveFit := metrics.FitPolylog(xs, leaveY)
+		t.Notes = append(t.Notes,
+			"join polylog exponent "+formatFloat(joinFit.Slope)+" (R2 "+formatFloat(joinFit.R2)+"); join ~ exchange cost + insertion, so ~log^6-7 N is expected",
+			"leave polylog exponent "+formatFloat(leaveFit.Slope)+" (R2 "+formatFloat(leaveFit.R2)+"); leave cascades ~|C| extra exchanges (~log^7-8 N) — still polylog, the paper's claim",
+			"over a 4x range of N, polylog growth with a high exponent is numerically indistinguishable from a small power of n; the wide-range -full sweep separates them")
+	}
+	return t, nil
+}
+
+// E7WalkUniformity measures the X/Y decomposition of section 4: the
+// CTRW endpoint distribution's total-variation distance from the target
+// (|C|/n) as the walk duration grows.
+func E7WalkUniformity(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E7",
+		Title: "randCl endpoint distribution vs walk duration",
+		Claim: "section 4: with duration past the mixing time, the CTRW endpoint distribution is within O(n^-c) of (|C|/n); residual bias is absorbed by the X/Y decomposition",
+		Columns: []string{"durationFactor", "N", "walks", "TV(sizeProp)",
+			"TV(perNodeUniform)", "meanHops"},
+	}
+	n := s.Ns[len(s.Ns)-1]
+	for _, factor := range []float64{0.0625, 0.125, 0.25, 0.5, 1, 2} {
+		w, err := midWorld(n, 0, s.Seed, func(c *core.Config) {
+			c.WalkDurationFactor = factor
+		})
+		if err != nil {
+			return nil, err
+		}
+		clusters := w.Clusters()
+		index := make(map[int]int, len(clusters))
+		for i, c := range clusters {
+			index[int(c)] = i
+		}
+		counts := make([]float64, len(clusters))
+		sizes := make([]float64, len(clusters))
+		for i, c := range clusters {
+			sizes[i] = float64(w.Size(c))
+		}
+		var hops metrics.Welford
+		// All walks start from ONE fixed cluster: a uniform start would
+		// make even a zero-hop walk look perfectly mixed.
+		start := clusters[0]
+		for i := 0; i < s.Walks; i++ {
+			out, err := w.Walker().Biased(w.Ledger(), w.Rng(), start)
+			if err != nil {
+				return nil, err
+			}
+			if j, ok := index[int(out.End)]; ok {
+				counts[j]++
+			}
+			hops.Add(float64(out.Hops))
+		}
+		perNode := make([]float64, len(clusters))
+		uniform := make([]float64, len(clusters))
+		for i := range perNode {
+			if sizes[i] > 0 {
+				perNode[i] = counts[i] / sizes[i]
+			}
+			uniform[i] = 1
+		}
+		t.AddRow(factor, n, s.Walks,
+			metrics.TVDistance(counts, sizes),
+			metrics.TVDistance(perNode, uniform),
+			hops.Mean())
+	}
+	t.Notes = append(t.Notes,
+		"all walks start at one fixed cluster; TV falls to the sampling-noise floor (~0.5*sqrt(#C/walks)) once the duration passes the mixing time and plateaus after",
+		"clusters are size-homogeneous right after bootstrap, so the two TV columns differ only under churn")
+	return t, nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps every experiment affordable for unit tests.
+func tinyScale() Scale {
+	return Scale{
+		Ns:        []int{256, 512},
+		OpsFactor: 0.25,
+		Trials:    1,
+		Walks:     60,
+		Seed:      3,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7",
+		"E8", "E9", "E10", "E11", "E12", "A1", "A2", "A3", "A4"} {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	ids := IDs()
+	if len(ids) != len(reg) {
+		t.Errorf("IDs() returned %d of %d", len(ids), len(reg))
+	}
+	// E* sorted numerically before A-blocks intermixed check: E1 < E2 < E10.
+	pos := map[string]int{}
+	for i, id := range ids {
+		pos[id] = i
+	}
+	if !(pos["E1"] < pos["E2"] && pos["E2"] < pos["E10"] && pos["E10"] < pos["E12"]) {
+		t.Errorf("experiment ordering wrong: %v", ids)
+	}
+}
+
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short mode")
+	}
+	s := tinyScale()
+	for _, id := range IDs() {
+		id := id
+		runner := Registry()[id]
+		t.Run(id, func(t *testing.T) {
+			table, err := runner(s)
+			if err != nil {
+				t.Fatalf("%s failed: %v", id, err)
+			}
+			if table.ID != id {
+				t.Errorf("table ID %q, want %q", table.ID, id)
+			}
+			if len(table.Rows) == 0 {
+				t.Error("no rows produced")
+			}
+			if table.Claim == "" || table.Title == "" {
+				t.Error("missing claim/title")
+			}
+			for _, row := range table.Rows {
+				if len(row) != len(table.Columns) {
+					t.Errorf("row width %d != %d columns", len(row), len(table.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			if err := table.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), table.Title) {
+				t.Error("render missing title")
+			}
+			buf.Reset()
+			if err := table.CSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Count(buf.String(), "\n")
+			if lines != len(table.Rows)+1 {
+				t.Errorf("CSV has %d lines, want %d", lines, len(table.Rows)+1)
+			}
+		})
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{
+		ID: "X", Title: "test", Claim: "c",
+		Columns: []string{"a", "bb"},
+	}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", 1e9)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2.500") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1e+09") {
+		t.Errorf("big float formatting wrong:\n%s", out)
+	}
+}
+
+func TestScalesSane(t *testing.T) {
+	for _, s := range []Scale{QuickScale(), FullScale()} {
+		if len(s.Ns) == 0 || s.OpsFactor <= 0 || s.Trials < 1 || s.Walks < 1 {
+			t.Errorf("degenerate scale %+v", s)
+		}
+		for _, n := range s.Ns {
+			if n&(n-1) != 0 {
+				t.Errorf("N=%d not a power of two (log2 scaling assumes it)", n)
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"fmt"
+
+	"nowover/internal/xrand"
+)
+
+// ErdosRenyi adds to g every edge among the given vertices independently
+// with probability p — the G(n, p) model the paper draws the initial
+// overlay from (p = log^{1+alpha} N / sqrt(N)). Vertices must already be
+// present. Existing edges are preserved.
+func ErdosRenyi[V comparable](g *Graph[V], r *xrand.Rand, vertices []V, p float64) error {
+	for i := 0; i < len(vertices); i++ {
+		for j := i + 1; j < len(vertices); j++ {
+			if !r.Bool(p) {
+				continue
+			}
+			if g.HasEdge(vertices[i], vertices[j]) {
+				continue
+			}
+			if err := g.AddEdge(vertices[i], vertices[j]); err != nil {
+				return fmt.Errorf("erdos-renyi: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// RandomRegularish wires each vertex to approximately d distinct random
+// peers (a configuration-model-style construction used as a baseline
+// expander in tests). The resulting degrees lie in [d, 2d] w.h.p.
+func RandomRegularish[V comparable](g *Graph[V], r *xrand.Rand, vertices []V, d int) error {
+	n := len(vertices)
+	if d >= n {
+		return fmt.Errorf("graph: degree %d too large for %d vertices", d, n)
+	}
+	for _, v := range vertices {
+		for g.Degree(v) < d {
+			u := vertices[r.Intn(n)]
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Ring adds a Hamiltonian cycle over the vertices in the given order — a
+// deliberately poor expander used as a negative control in tests.
+func Ring[V comparable](g *Graph[V], vertices []V) error {
+	n := len(vertices)
+	if n < 3 {
+		return fmt.Errorf("graph: ring needs >= 3 vertices, got %d", n)
+	}
+	for i := range vertices {
+		if err := g.AddEdge(vertices[i], vertices[(i+1)%n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Complete adds all pairwise edges over the vertices.
+func Complete[V comparable](g *Graph[V], vertices []V) error {
+	for i := 0; i < len(vertices); i++ {
+		for j := i + 1; j < len(vertices); j++ {
+			if err := g.AddEdge(vertices[i], vertices[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

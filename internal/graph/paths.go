@@ -1,0 +1,95 @@
+package graph
+
+// BFS runs a breadth-first search from src and returns the distance map
+// (vertices unreachable from src are absent).
+func (g *Graph[V]) BFS(src V) map[V]int {
+	dist := make(map[V]int, len(g.adj))
+	if !g.HasVertex(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []V{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.adj[v] {
+			if _, seen := dist[u]; !seen {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected (true for empty and
+// singleton graphs).
+func (g *Graph[V]) Connected() bool {
+	if len(g.order) <= 1 {
+		return true
+	}
+	return len(g.BFS(g.order[0])) == len(g.adj)
+}
+
+// Components returns the connected components as vertex slices, each in
+// insertion order, ordered by their earliest vertex.
+func (g *Graph[V]) Components() [][]V {
+	seen := make(map[V]bool, len(g.adj))
+	var comps [][]V
+	for _, v := range g.order {
+		if seen[v] {
+			continue
+		}
+		var comp []V
+		for u := range g.BFS(v) {
+			seen[u] = true
+		}
+		// Rebuild in insertion order for determinism.
+		dist := g.BFS(v)
+		for _, u := range g.order {
+			if _, ok := dist[u]; ok {
+				comp = append(comp, u)
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Diameter returns the exact diameter (longest shortest path) of the graph,
+// computed by BFS from every vertex. It returns -1 for a disconnected or
+// empty graph. Intended for overlay-sized graphs (thousands of vertices).
+func (g *Graph[V]) Diameter() int {
+	if len(g.order) == 0 {
+		return -1
+	}
+	diam := 0
+	for _, v := range g.order {
+		dist := g.BFS(v)
+		if len(dist) != len(g.adj) {
+			return -1
+		}
+		for _, d := range dist {
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// Eccentricity returns the maximum BFS distance from v, or -1 if some
+// vertex is unreachable.
+func (g *Graph[V]) Eccentricity(v V) int {
+	dist := g.BFS(v)
+	if len(dist) != len(g.adj) {
+		return -1
+	}
+	ecc := 0
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}

@@ -1,0 +1,95 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeSetBasics(t *testing.T) {
+	s := NewNodeSet(3, 1, 2)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if !s.Add(7) {
+		t.Error("Add of new element returned false")
+	}
+	if s.Add(7) {
+		t.Error("Add of existing element returned true")
+	}
+	if !s.Has(7) {
+		t.Error("Has(7) false after Add")
+	}
+	if !s.Remove(7) {
+		t.Error("Remove of existing element returned false")
+	}
+	if s.Remove(7) {
+		t.Error("Remove of missing element returned true")
+	}
+	got := s.Sorted()
+	want := []NodeID{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNodeSetCloneIndependent(t *testing.T) {
+	s := NewNodeSet(1, 2)
+	c := s.Clone()
+	c.Add(3)
+	if s.Has(3) {
+		t.Error("mutation of clone leaked into original")
+	}
+}
+
+func TestClusterSetBasics(t *testing.T) {
+	s := NewClusterSet(5, 4)
+	s.Add(6)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	got := s.Sorted()
+	if got[0] != 4 || got[2] != 6 {
+		t.Fatalf("Sorted = %v", got)
+	}
+	if !s.Remove(5) || s.Has(5) {
+		t.Error("Remove(5) failed")
+	}
+}
+
+func TestAllocatorsMonotone(t *testing.T) {
+	var na NodeAllocator
+	var ca ClusterAllocator
+	prevN := NodeID(0)
+	prevC := ClusterID(0)
+	for i := 0; i < 100; i++ {
+		n := na.NextNode()
+		c := ca.NextCluster()
+		if i > 0 && (n <= prevN || c <= prevC) {
+			t.Fatal("allocator not strictly increasing")
+		}
+		prevN, prevC = n, c
+	}
+	if na.Issued() != 100 || ca.Issued() != 100 {
+		t.Fatalf("Issued = %d/%d, want 100/100", na.Issued(), ca.Issued())
+	}
+}
+
+func TestSortedIsSortedProperty(t *testing.T) {
+	if err := quick.Check(func(vals []uint64) bool {
+		s := make(NodeSet)
+		for _, v := range vals {
+			s.Add(NodeID(v))
+		}
+		sorted := s.Sorted()
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i-1] >= sorted[i] {
+				return false
+			}
+		}
+		return len(sorted) == s.Len()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

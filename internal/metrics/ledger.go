@@ -1,0 +1,149 @@
+// Package metrics provides cost accounting (messages, rounds) and the
+// statistics toolkit used by the experiment harness: streaming moments,
+// quantiles, distribution distances and polylog/power-law exponent fits.
+//
+// Every protocol primitive charges its communication cost to a Ledger using
+// the paper's cost rules (all-to-all within a cluster, |Ci|x|Cj| between
+// adjacent clusters, majority-accept). Experiments snapshot the ledger
+// around an operation to obtain exact per-operation costs.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Class labels a category of protocol traffic. Classes let experiments
+// decompose an operation's cost into its constituent primitives.
+type Class int
+
+// Traffic classes, one per protocol primitive or phase.
+const (
+	ClassIntraCluster Class = iota // all-to-all within one cluster
+	ClassInterCluster              // cluster-to-cluster announcements
+	ClassWalk                      // CTRW forwarding between clusters
+	ClassRandNum                   // distributed random number generation
+	ClassExchange                  // node shuffling transfers
+	ClassDiscovery                 // initialization flooding
+	ClassAgreement                 // Byzantine agreement traffic
+	ClassApplication               // application-layer traffic (broadcast etc.)
+	numClasses
+)
+
+var _classNames = [numClasses]string{
+	"intra-cluster",
+	"inter-cluster",
+	"walk",
+	"randnum",
+	"exchange",
+	"discovery",
+	"agreement",
+	"application",
+}
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c < 0 || c >= numClasses {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return _classNames[c]
+}
+
+// Ledger accumulates message and round counts. The zero value is ready to
+// use. Ledger is not safe for concurrent use; the simulator is single
+// threaded and the live runtime aggregates per-goroutine counts itself.
+type Ledger struct {
+	msgs   [numClasses]int64
+	rounds int64
+}
+
+// Charge records n messages of class c. Negative charges are rejected so a
+// buggy cost model cannot silently shrink totals.
+func (l *Ledger) Charge(c Class, n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("metrics: negative charge %d for %v", n, c))
+	}
+	l.msgs[c] += n
+}
+
+// AddRounds records r communication rounds.
+func (l *Ledger) AddRounds(r int64) {
+	if r < 0 {
+		panic(fmt.Sprintf("metrics: negative rounds %d", r))
+	}
+	l.rounds += r
+}
+
+// Messages returns the total message count across all classes.
+func (l *Ledger) Messages() int64 {
+	var total int64
+	for _, m := range l.msgs {
+		total += m
+	}
+	return total
+}
+
+// MessagesBy returns the message count for one class.
+func (l *Ledger) MessagesBy(c Class) int64 { return l.msgs[c] }
+
+// Rounds returns the total round count.
+func (l *Ledger) Rounds() int64 { return l.rounds }
+
+// Snapshot captures the current totals so a caller can compute the cost of
+// a single operation as the difference of two snapshots.
+type Snapshot struct {
+	msgs   [numClasses]int64
+	rounds int64
+}
+
+// Snapshot returns the current totals.
+func (l *Ledger) Snapshot() Snapshot {
+	return Snapshot{msgs: l.msgs, rounds: l.rounds}
+}
+
+// Cost is the resource consumption of one operation.
+type Cost struct {
+	Messages int64
+	Rounds   int64
+	ByClass  map[Class]int64
+}
+
+// Since returns the cost accumulated after the given snapshot was taken.
+func (l *Ledger) Since(s Snapshot) Cost {
+	c := Cost{
+		Rounds:  l.rounds - s.rounds,
+		ByClass: make(map[Class]int64, int(numClasses)),
+	}
+	for i := Class(0); i < numClasses; i++ {
+		d := l.msgs[i] - s.msgs[i]
+		if d != 0 {
+			c.ByClass[i] = d
+		}
+		c.Messages += d
+	}
+	return c
+}
+
+// String renders the cost compactly for logs and tables.
+func (c Cost) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "msgs=%d rounds=%d", c.Messages, c.Rounds)
+	if len(c.ByClass) == 0 {
+		return b.String()
+	}
+	keys := make([]Class, 0, len(c.ByClass))
+	for k := range c.ByClass {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	b.WriteString(" [")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%v=%d", k, c.ByClass[k])
+	}
+	b.WriteString("]")
+	return b.String()
+}

@@ -1,0 +1,228 @@
+package randnum
+
+import (
+	"math"
+	"testing"
+
+	"nowover/internal/metrics"
+	"nowover/internal/xrand"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		size, byz int
+		want      Security
+	}{
+		{9, 0, Secure},
+		{9, 2, Secure},
+		{9, 3, Degraded},  // exactly 1/3
+		{9, 4, Degraded},  // below 1/2
+		{10, 5, Captured}, // exactly 1/2
+		{9, 5, Captured},
+		{3, 1, Degraded},
+		{2, 1, Captured},
+	}
+	for _, c := range cases {
+		if got := Classify(c.size, c.byz); got != c.want {
+			t.Errorf("Classify(%d,%d) = %v, want %v", c.size, c.byz, got, c.want)
+		}
+	}
+}
+
+func TestSecurityString(t *testing.T) {
+	for _, s := range []Security{Secure, Degraded, Captured, Security(9)} {
+		if s.String() == "" {
+			t.Errorf("empty string for %d", int(s))
+		}
+	}
+}
+
+func TestIdealUniform(t *testing.T) {
+	var led metrics.Ledger
+	r := xrand.New(1)
+	gen := Ideal{}
+	const rng = 8
+	counts := make([]int64, rng)
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		v, sec, err := gen.Draw(&led, r, Params{Size: 20, Byz: 5, R: rng}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sec != Secure {
+			t.Fatalf("security = %v with 5/20 byzantine", sec)
+		}
+		counts[v]++
+	}
+	want := float64(draws) / rng
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestIdealIgnoresObjectiveWhileSecure(t *testing.T) {
+	var led metrics.Ledger
+	r := xrand.New(2)
+	gen := Ideal{}
+	obj := func(v int64) float64 { return float64(-v) } // prefers 0
+	zeros := 0
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		v, _, err := gen.Draw(&led, r, Params{Size: 12, Byz: 3, R: 4}, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == 0 {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / draws
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Errorf("objective influenced a secure Ideal draw: P(0) = %.3f", frac)
+	}
+}
+
+func TestCapturedDrawIsAdversarial(t *testing.T) {
+	var led metrics.Ledger
+	r := xrand.New(3)
+	obj := func(v int64) float64 {
+		if v == 5 {
+			return 1
+		}
+		return 0
+	}
+	for _, gen := range []Generator{Ideal{}, CommitReveal{}} {
+		v, sec, err := gen.Draw(&led, r, Params{Size: 10, Byz: 5, R: 8}, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sec != Captured {
+			t.Fatalf("%T: security = %v with 5/10", gen, sec)
+		}
+		if v != 5 {
+			t.Errorf("%T: captured draw = %d, want adversary's 5", gen, v)
+		}
+	}
+}
+
+func TestCommitRevealUnbiasedWithoutObjective(t *testing.T) {
+	var led metrics.Ledger
+	r := xrand.New(4)
+	gen := CommitReveal{}
+	const rng = 6
+	counts := make([]int64, rng)
+	const draws = 30000
+	for i := 0; i < draws; i++ {
+		v, _, err := gen.Draw(&led, r, Params{Size: 15, Byz: 4, R: rng}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[v]++
+	}
+	want := float64(draws) / rng
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestCommitRevealBias(t *testing.T) {
+	// With b Byzantine members and an objective preferring value 0, the
+	// hit rate on 0 must exceed uniform — the last-revealer advantage.
+	var led metrics.Ledger
+	r := xrand.New(5)
+	gen := CommitReveal{}
+	obj := func(v int64) float64 {
+		if v == 0 {
+			return 1
+		}
+		return 0
+	}
+	const rng, draws = 4, 30000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		v, sec, err := gen.Draw(&led, r, Params{Size: 16, Byz: 5, R: rng}, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sec != Secure {
+			t.Fatalf("unexpected security %v", sec)
+		}
+		if v == 0 {
+			hits++
+		}
+	}
+	frac := float64(hits) / draws
+	// 5 greedy reveal/abort choices: P(miss) ~ (3/4)^6 ~ 0.18 (first state
+	// plus five optional additions), so expect well above 0.25 uniform.
+	if frac < 0.4 {
+		t.Errorf("biased hit rate %.3f, want substantially above uniform 0.25", frac)
+	}
+}
+
+func TestCommitRevealBiasGrowsWithByz(t *testing.T) {
+	gen := CommitReveal{}
+	obj := func(v int64) float64 {
+		if v == 0 {
+			return 1
+		}
+		return 0
+	}
+	rate := func(byz int) float64 {
+		var led metrics.Ledger
+		r := xrand.New(77)
+		hits := 0
+		const draws = 20000
+		for i := 0; i < draws; i++ {
+			v, _, err := gen.Draw(&led, r, Params{Size: 16, Byz: byz, R: 4}, obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v == 0 {
+				hits++
+			}
+		}
+		return float64(hits) / draws
+	}
+	if r1, r4 := rate(1), rate(4); r4 <= r1 {
+		t.Errorf("bias with 4 byz (%.3f) not above bias with 1 byz (%.3f)", r4, r1)
+	}
+}
+
+func TestDrawCostModel(t *testing.T) {
+	var led metrics.Ledger
+	r := xrand.New(6)
+	_, _, err := Ideal{}.Draw(&led, r, Params{Size: 10, Byz: 0, R: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 all-to-all rounds (2*90) + agreement (90).
+	if got := led.Messages(); got != 270 {
+		t.Errorf("draw charged %d messages, want 270", got)
+	}
+	if led.Rounds() != 5 {
+		t.Errorf("draw charged %d rounds, want 5", led.Rounds())
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	var led metrics.Ledger
+	r := xrand.New(7)
+	bad := []Params{
+		{Size: 0, Byz: 0, R: 4},
+		{Size: 5, Byz: -1, R: 4},
+		{Size: 5, Byz: 6, R: 4},
+		{Size: 5, Byz: 0, R: 0},
+	}
+	for _, p := range bad {
+		if _, _, err := (Ideal{}).Draw(&led, r, p, nil); err == nil {
+			t.Errorf("Ideal accepted %+v", p)
+		}
+		if _, _, err := (CommitReveal{}).Draw(&led, r, p, nil); err == nil {
+			t.Errorf("CommitReveal accepted %+v", p)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package runtime
+
+import (
+	"nowover/internal/ids"
+)
+
+// Walk-token relay: the message-level form of one CTRW hop. Every member
+// of the current cluster sends the token to every member of the next
+// cluster; a receiver accepts the token only when more than half of the
+// sender cluster delivered identical copies (the paper's inter-cluster
+// rule). Byzantine members may equivocate; with fewer than half of them
+// the token still goes through unmodified, and with at least half the
+// sending cluster can forge it — the capture failure mode.
+
+// token is the relayed walk state.
+type token struct {
+	WalkID    uint64
+	Remaining int64 // remaining duration, protocol-scaled
+}
+
+// RelayNode is an honest member of a relay chain cluster. Cluster k
+// forwards to cluster k+1 on round k.
+type RelayNode struct {
+	self ids.NodeID
+	// chain[k] is the membership of the k-th cluster.
+	chain [][]ids.NodeID
+	// position of this node's cluster in the chain.
+	level int
+	// accepted is the token this node accepted, if any.
+	accepted *token
+	// seed tokens: level-0 nodes originate this token.
+	origin *token
+}
+
+// NewRelayNode builds an honest relay participant.
+func NewRelayNode(self ids.NodeID, chain [][]ids.NodeID, level int, origin *token) *RelayNode {
+	return &RelayNode{self: self, chain: chain, level: level, origin: origin}
+}
+
+// Accepted returns the token this node accepted.
+func (n *RelayNode) Accepted() (token, bool) {
+	if n.accepted == nil {
+		return token{}, false
+	}
+	return *n.accepted, true
+}
+
+// Step implements Process: messages sent by level k-1 in round k-1 are
+// delivered in round k, so at round == level the node evaluates the
+// majority rule on its inbox and forwards in the same round.
+func (n *RelayNode) Step(round int, inbox []Message) []Message {
+	if n.level == 0 && round == 0 {
+		n.accepted = n.origin
+	} else if round == n.level && n.accepted == nil && n.level > 0 {
+		if payload, ok := MajorityPayload(inbox, n.chain[n.level-1]); ok {
+			if tk, ok2 := payload.(token); ok2 {
+				n.accepted = &tk
+			}
+		}
+	}
+	if round == n.level && n.accepted != nil && n.level+1 < len(n.chain) {
+		out := make([]Message, 0, len(n.chain[n.level+1]))
+		for _, to := range n.chain[n.level+1] {
+			out = append(out, Message{From: n.self, To: to, Round: round, Payload: *n.accepted})
+		}
+		return out
+	}
+	return nil
+}
+
+// ForgingRelayNode is a Byzantine relay member that substitutes its own
+// token, attempting to hijack the walk.
+type ForgingRelayNode struct {
+	self  ids.NodeID
+	chain [][]ids.NodeID
+	level int
+	forge token
+}
+
+// NewForgingRelayNode builds the attacker.
+func NewForgingRelayNode(self ids.NodeID, chain [][]ids.NodeID, level int, forge token) *ForgingRelayNode {
+	return &ForgingRelayNode{self: self, chain: chain, level: level, forge: forge}
+}
+
+// Step implements Process.
+func (n *ForgingRelayNode) Step(round int, _ []Message) []Message {
+	if round != n.level || n.level+1 >= len(n.chain) {
+		return nil
+	}
+	out := make([]Message, 0, len(n.chain[n.level+1]))
+	for _, to := range n.chain[n.level+1] {
+		out = append(out, Message{From: n.self, To: to, Round: round, Payload: n.forge})
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+package runtime
+
+import (
+	"testing"
+
+	"nowover/internal/ba"
+	"nowover/internal/ids"
+	"nowover/internal/metrics"
+	"nowover/internal/randnum"
+	"nowover/internal/xrand"
+)
+
+// echoProc counts its inbox and echoes one message to a fixed peer.
+type echoProc struct {
+	self, peer ids.NodeID
+	got        int
+}
+
+func (p *echoProc) Step(round int, inbox []Message) []Message {
+	p.got += len(inbox)
+	return []Message{{From: p.self, To: p.peer, Round: round, Payload: "ping"}}
+}
+
+func TestEngineDeliversNextRound(t *testing.T) {
+	a, b := ids.NodeID(1), ids.NodeID(2)
+	pa := &echoProc{self: a, peer: b}
+	pb := &echoProc{self: b, peer: a}
+	e := NewEngine(map[ids.NodeID]Process{a: pa, b: pb})
+	defer e.Close()
+	if err := e.RunRounds(3); err != nil {
+		t.Fatal(err)
+	}
+	// Round 0 inboxes empty; rounds 1,2 deliver one message each.
+	if pa.got != 2 || pb.got != 2 {
+		t.Errorf("deliveries = %d/%d, want 2/2", pa.got, pb.got)
+	}
+	if e.Messages() != 6 {
+		t.Errorf("messages = %d, want 6", e.Messages())
+	}
+	if e.Rounds() != 3 {
+		t.Errorf("rounds = %d", e.Rounds())
+	}
+}
+
+func TestEngineRejectsForgedSender(t *testing.T) {
+	a, b := ids.NodeID(1), ids.NodeID(2)
+	forger := processFunc(func(round int, _ []Message) []Message {
+		return []Message{{From: b, To: b, Round: round, Payload: "forged"}}
+	})
+	e := NewEngine(map[ids.NodeID]Process{a: forger, b: processFunc(nopStep)})
+	defer e.Close()
+	if err := e.Round(); err == nil {
+		t.Error("forged sender accepted")
+	}
+}
+
+type processFunc func(int, []Message) []Message
+
+func (f processFunc) Step(round int, inbox []Message) []Message { return f(round, inbox) }
+
+func nopStep(int, []Message) []Message { return nil }
+
+func TestEngineCloseIdempotent(t *testing.T) {
+	e := NewEngine(map[ids.NodeID]Process{1: processFunc(nopStep)})
+	e.Close()
+	e.Close()
+	if err := e.Round(); err == nil {
+		t.Error("round on closed engine accepted")
+	}
+}
+
+func TestMajorityPayload(t *testing.T) {
+	senders := []ids.NodeID{1, 2, 3, 4, 5}
+	mk := func(from ids.NodeID, payload string) Message {
+		return Message{From: from, To: 9, Payload: payload}
+	}
+	inbox := []Message{mk(1, "v"), mk(2, "v"), mk(3, "v"), mk(4, "x"), mk(5, "x")}
+	got, ok := MajorityPayload(inbox, senders)
+	if !ok || got != "v" {
+		t.Errorf("majority = %v,%v", got, ok)
+	}
+	// Exactly half is not enough.
+	tied := []Message{mk(1, "v"), mk(2, "v"), mk(3, "x"), mk(4, "x"), mk(5, "y")}
+	if _, ok := MajorityPayload(tied, senders); ok {
+		t.Error("accepted without strict majority")
+	}
+	// Messages from outside the sender cluster are ignored.
+	outsiders := []Message{mk(7, "w"), mk(8, "w"), mk(9, "w"), mk(1, "v")}
+	if _, ok := MajorityPayload(outsiders, senders); ok {
+		t.Error("outsiders counted toward majority")
+	}
+}
+
+// buildRandNum assembles a commit-reveal cluster with the given byzantine
+// processes substituted in.
+func buildRandNum(t *testing.T, n int, byz map[int]func(RandNumConfig, ids.NodeID, *xrand.Rand) Process) (map[ids.NodeID]Process, []*RandNumNode, RandNumConfig) {
+	t.Helper()
+	cfg := RandNumConfig{R: 64}
+	for i := 0; i < n; i++ {
+		cfg.Members = append(cfg.Members, ids.NodeID(i))
+	}
+	r := xrand.New(42)
+	procs := make(map[ids.NodeID]Process, n)
+	var honest []*RandNumNode
+	for i := 0; i < n; i++ {
+		id := ids.NodeID(i)
+		if mk, bad := byz[i]; bad {
+			procs[id] = mk(cfg, id, r.Split(uint64(i)))
+			continue
+		}
+		node, err := NewRandNumNode(cfg, id, r.Split(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[id] = node
+		honest = append(honest, node)
+	}
+	return procs, honest, cfg
+}
+
+func TestRandNumAllHonestAgree(t *testing.T) {
+	procs, honest, _ := buildRandNum(t, 8, nil)
+	e := NewEngine(procs)
+	defer e.Close()
+	if err := e.RunRounds(4); err != nil {
+		t.Fatal(err)
+	}
+	first, ok := honest[0].Output()
+	if !ok {
+		t.Fatal("no output after 4 rounds")
+	}
+	for _, h := range honest[1:] {
+		v, ok := h.Output()
+		if !ok || v != first {
+			t.Fatalf("disagreement: %d vs %d (ok=%v)", v, first, ok)
+		}
+	}
+	if first < 0 || first >= 64 {
+		t.Errorf("output %d outside range", first)
+	}
+}
+
+func TestRandNumSilentByzantine(t *testing.T) {
+	procs, honest, _ := buildRandNum(t, 9, map[int]func(RandNumConfig, ids.NodeID, *xrand.Rand) Process{
+		3: func(RandNumConfig, ids.NodeID, *xrand.Rand) Process { return SilentNode{} },
+		7: func(RandNumConfig, ids.NodeID, *xrand.Rand) Process { return SilentNode{} },
+	})
+	e := NewEngine(procs)
+	defer e.Close()
+	if err := e.RunRounds(4); err != nil {
+		t.Fatal(err)
+	}
+	first, ok := honest[0].Output()
+	if !ok {
+		t.Fatal("no output")
+	}
+	for _, h := range honest[1:] {
+		if v, ok := h.Output(); !ok || v != first {
+			t.Fatalf("disagreement with silent byzantine: %d vs %d", v, first)
+		}
+	}
+}
+
+func TestRandNumBindingViolationExcluded(t *testing.T) {
+	procs, honest, _ := buildRandNum(t, 9, map[int]func(RandNumConfig, ids.NodeID, *xrand.Rand) Process{
+		4: func(cfg RandNumConfig, id ids.NodeID, r *xrand.Rand) Process {
+			return NewBadRevealNode(cfg, id, r)
+		},
+	})
+	e := NewEngine(procs)
+	defer e.Close()
+	if err := e.RunRounds(4); err != nil {
+		t.Fatal(err)
+	}
+	first, ok := honest[0].Output()
+	if !ok {
+		t.Fatal("no output")
+	}
+	for _, h := range honest[1:] {
+		if v, ok := h.Output(); !ok || v != first {
+			t.Fatalf("binding violation broke agreement: %d vs %d", v, first)
+		}
+	}
+}
+
+func TestRandNumMessageCountMatchesCostModel(t *testing.T) {
+	// The counted simulator charges 3*s*(s-1) messages per randNum draw
+	// (commit + reveal all-to-all plus one agreement round). The live
+	// protocol sends commit, reveal and vote rounds of s*(s-1) each: the
+	// totals must match exactly.
+	const s = 10
+	procs, _, _ := buildRandNum(t, s, nil)
+	e := NewEngine(procs)
+	defer e.Close()
+	if err := e.RunRounds(4); err != nil {
+		t.Fatal(err)
+	}
+	var led metrics.Ledger
+	if _, _, err := (randnum.Ideal{}).Draw(&led, xrand.New(1), randnum.Params{Size: s, Byz: 0, R: 64}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Messages() != led.Messages() {
+		t.Errorf("live messages %d != counted charge %d", e.Messages(), led.Messages())
+	}
+}
+
+func TestPhaseKingRuntimeMatchesCentralized(t *testing.T) {
+	// Same committee, same inputs, one scripted liar: the message-passing
+	// phase king must agree internally and decide the same value as the
+	// centralized ba implementation under its liar script.
+	const n, tFaults = 9, 2
+	inputs := []int64{1, 1, 0, 1, 0, 1, 1, 0, 1}
+	cfg := PhaseKingConfig{MaxFaults: tFaults}
+	for i := 0; i < n; i++ {
+		cfg.Members = append(cfg.Members, ids.NodeID(i))
+	}
+	procs := make(map[ids.NodeID]Process, n)
+	honest := make(map[ids.NodeID]*PhaseKingNode, n-1)
+	for i := 0; i < n; i++ {
+		id := ids.NodeID(i)
+		if i == 4 {
+			procs[id] = NewPKLiarNode(cfg, id)
+			continue
+		}
+		node := NewPhaseKingNode(cfg, id, inputs[i])
+		procs[id] = node
+		honest[id] = node
+	}
+	e := NewEngine(procs)
+	defer e.Close()
+	decisions, err := RunPhaseKing(e, cfg, honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first int64
+	got := false
+	for id, v := range decisions {
+		if !got {
+			first, got = v, true
+			continue
+		}
+		if v != first {
+			t.Fatalf("runtime disagreement at %v: %d vs %d", id, v, first)
+		}
+	}
+
+	// Centralized reference with an equivalent equivocating liar.
+	bcfg := ba.Config{
+		N:         n,
+		Inputs:    make([]ba.Value, n),
+		Byzantine: map[int]ba.Behavior{4: ba.Equivocator{}},
+	}
+	for i, v := range inputs {
+		bcfg.Inputs[i] = ba.Value(v)
+	}
+	res, err := ba.PhaseKing(bcfg, tFaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Agree(bcfg.Byzantine); !ok {
+		t.Fatal("centralized phase king disagreed (reference broken)")
+	}
+}
+
+func TestPhaseKingRuntimeValidity(t *testing.T) {
+	// Unanimous honest inputs must survive a liar.
+	const n, tFaults = 5, 1
+	cfg := PhaseKingConfig{MaxFaults: tFaults}
+	for i := 0; i < n; i++ {
+		cfg.Members = append(cfg.Members, ids.NodeID(i))
+	}
+	procs := make(map[ids.NodeID]Process, n)
+	honest := make(map[ids.NodeID]*PhaseKingNode)
+	for i := 0; i < n; i++ {
+		id := ids.NodeID(i)
+		if i == 2 {
+			procs[id] = NewPKLiarNode(cfg, id)
+			continue
+		}
+		node := NewPhaseKingNode(cfg, id, 1)
+		procs[id] = node
+		honest[id] = node
+	}
+	e := NewEngine(procs)
+	defer e.Close()
+	decisions, err := RunPhaseKing(e, cfg, honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range decisions {
+		if v != 1 {
+			t.Errorf("node %v decided %d, validity violated", id, v)
+		}
+	}
+}
+
+// buildChain assembles a relay chain of clusters, with byzLevels marking
+// (level -> number of forgers).
+func buildChain(t *testing.T, levels, size int, byzAt map[int]int) (map[ids.NodeID]Process, [][]ids.NodeID, []*RelayNode, token) {
+	t.Helper()
+	chain := make([][]ids.NodeID, levels)
+	next := ids.NodeID(0)
+	for l := 0; l < levels; l++ {
+		for j := 0; j < size; j++ {
+			chain[l] = append(chain[l], next)
+			next++
+		}
+	}
+	tok := token{WalkID: 77, Remaining: 1000}
+	forged := token{WalkID: 666, Remaining: 0}
+	procs := make(map[ids.NodeID]Process)
+	var lastLevel []*RelayNode
+	for l := 0; l < levels; l++ {
+		nByz := byzAt[l]
+		for j, id := range chain[l] {
+			if j < nByz {
+				procs[id] = NewForgingRelayNode(id, chain, l, forged)
+				continue
+			}
+			var origin *token
+			if l == 0 {
+				origin = &tok
+			}
+			node := NewRelayNode(id, chain, l, origin)
+			procs[id] = node
+			if l == levels-1 {
+				lastLevel = append(lastLevel, node)
+			}
+		}
+	}
+	return procs, chain, lastLevel, tok
+}
+
+func TestRelayDeliversToken(t *testing.T) {
+	procs, _, last, tok := buildChain(t, 4, 7, nil)
+	e := NewEngine(procs)
+	defer e.Close()
+	if err := e.RunRounds(5); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range last {
+		got, ok := n.Accepted()
+		if !ok || got != tok {
+			t.Fatalf("token not delivered intact: %+v ok=%v", got, ok)
+		}
+	}
+	// Cost: 3 inter-cluster hops of 7*7 each (honest senders only send to
+	// the next cluster).
+	if e.Messages() != 3*7*7 {
+		t.Errorf("messages = %d, want %d", e.Messages(), 3*7*7)
+	}
+}
+
+func TestRelayToleratesMinorityForgers(t *testing.T) {
+	procs, _, last, tok := buildChain(t, 3, 7, map[int]int{1: 3})
+	e := NewEngine(procs)
+	defer e.Close()
+	if err := e.RunRounds(4); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range last {
+		got, ok := n.Accepted()
+		if !ok || got != tok {
+			t.Fatalf("minority forgers corrupted the token: %+v", got)
+		}
+	}
+}
+
+func TestRelayCapturedClusterForges(t *testing.T) {
+	// 4 of 7 forgers at level 1: the captured cluster speaks for itself
+	// and the forged token wins.
+	procs, _, last, _ := buildChain(t, 3, 7, map[int]int{1: 4})
+	e := NewEngine(procs)
+	defer e.Close()
+	if err := e.RunRounds(4); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range last {
+		got, ok := n.Accepted()
+		if !ok {
+			t.Fatal("no token accepted")
+		}
+		if got.WalkID != 666 {
+			t.Fatalf("captured cluster failed to hijack: %+v", got)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package sim is the synchronous simulation engine: it drives a NOW world
+// through a churn trace produced by a workload schedule (net size over
+// time) and an adversary strategy (who joins/leaves, who is corrupted),
+// recording invariant audits and per-operation communication costs. One
+// simulator step is one paper time step: a single join or leave with all
+// of its induced maintenance (exchange cascades, splits, merges), matching
+// the paper's one-operation-per-step presentation.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"nowover/internal/adversary"
+	"nowover/internal/core"
+	"nowover/internal/ids"
+	"nowover/internal/metrics"
+	"nowover/internal/workload"
+	"nowover/internal/xrand"
+)
+
+// Config assembles one simulation run.
+type Config struct {
+	// Core is the NOW protocol configuration.
+	Core core.Config
+	// InitialSize is n at bootstrap.
+	InitialSize int
+	// Tau is the adversary's corruption budget (fraction of nodes).
+	Tau float64
+	// Schedule drives the target network size; nil means Steady at
+	// InitialSize.
+	Schedule workload.Schedule
+	// Strategy decides churn specifics; nil means benign RandomChurn.
+	Strategy adversary.Strategy
+	// Steps is the number of time steps to simulate.
+	Steps int
+	// AuditEvery records a full audit every k steps (0 disables periodic
+	// audits; the final audit is always taken).
+	AuditEvery int
+	// ConsistencyEvery cross-checks all redundant bookkeeping every k
+	// steps (0 disables; expensive, for tests).
+	ConsistencyEvery int
+	// SampleOpCosts records per-operation message/round samples.
+	SampleOpCosts bool
+	// TrackSizes records the size trajectory.
+	TrackSizes bool
+	// Seed drives the strategy's randomness (kept separate from protocol
+	// randomness so the adversary cannot be accidentally correlated with
+	// it).
+	Seed uint64
+	// InstallHijacker wires the adversary's captured-cluster walk
+	// redirection when the strategy exposes a target.
+	InstallHijacker bool
+}
+
+func (c Config) validate() error {
+	if c.InitialSize <= 0 {
+		return fmt.Errorf("sim: non-positive initial size")
+	}
+	if c.Steps < 0 {
+		return fmt.Errorf("sim: negative step count")
+	}
+	if c.Tau < 0 || c.Tau >= 1 {
+		return fmt.Errorf("sim: tau %v outside [0,1)", c.Tau)
+	}
+	return nil
+}
+
+// OpCosts holds per-operation cost samples by operation kind.
+type OpCosts struct {
+	JoinMsgs, JoinRounds   metrics.Sample
+	LeaveMsgs, LeaveRounds metrics.Sample
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Steps     int
+	Initial   core.Audit
+	Final     core.Audit
+	Stats     core.Stats
+	Audits    []core.Audit
+	Sizes     []int
+	TotalCost metrics.Cost
+	OpCosts   OpCosts
+	// DegradedSteps / CapturedSteps count time steps at whose end at
+	// least one cluster was >= 1/3 / >= 1/2 Byzantine: the paper's
+	// failure-state dwell time.
+	DegradedSteps, CapturedSteps int
+	// PeakSize / TroughSize bracket the realized size trajectory.
+	PeakSize, TroughSize int
+}
+
+// Runner executes a configured simulation.
+type Runner struct {
+	cfg      Config
+	world    *core.World
+	strategy adversary.Strategy
+	schedule workload.Schedule
+	rng      *xrand.Rand
+	rejoins  []ids.NodeID
+}
+
+// New builds a runner: world bootstrap (with the adversary corrupting its
+// tau budget up front, as the model allows) plus strategy wiring.
+func New(cfg Config) (*Runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	w, err := core.NewWorld(cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	byzBudget := int(cfg.Tau * float64(cfg.InitialSize))
+	if err := w.Bootstrap(cfg.InitialSize, func(slot int) bool { return slot < byzBudget }); err != nil {
+		return nil, err
+	}
+	strategy := cfg.Strategy
+	if strategy == nil {
+		strategy = &adversary.RandomChurn{Budget: adversary.Budget{Tau: cfg.Tau}}
+	}
+	schedule := cfg.Schedule
+	if schedule == nil {
+		schedule = workload.Steady{Size: cfg.InitialSize}
+	}
+	r := &Runner{
+		cfg:      cfg,
+		world:    w,
+		strategy: strategy,
+		schedule: schedule,
+		rng:      xrand.New(cfg.Seed ^ 0xAD5A11),
+	}
+	if cfg.InstallHijacker {
+		if tgt, ok := strategy.(interface {
+			Target(adversary.View) ids.ClusterID
+		}); ok {
+			w.SetHijacker(adversary.CapturedHijacker{TargetFn: func() (ids.ClusterID, bool) {
+				return tgt.Target(w), true
+			}})
+		}
+	}
+	return r, nil
+}
+
+// World exposes the underlying world (for experiments that need mid-run
+// inspection).
+func (r *Runner) World() *core.World { return r.world }
+
+// QueuedRejoins reports how many merge-displaced nodes still await their
+// rejoin step (MergeRejoinAll only).
+func (r *Runner) QueuedRejoins() int { return len(r.rejoins) }
+
+// Continue runs additional steps on the same world, optionally under a
+// new schedule (nil keeps the current one). Multi-phase experiments use
+// it to chain growth and shrink epochs on one protocol instance.
+func (r *Runner) Continue(sched workload.Schedule, steps int) (*Result, error) {
+	if sched != nil {
+		r.schedule = sched
+	}
+	r.cfg.Steps = steps
+	return r.Run()
+}
+
+// Run executes the configured number of steps.
+func (r *Runner) Run() (*Result, error) {
+	res := &Result{
+		Initial:    r.world.Audit(),
+		PeakSize:   r.world.NumNodes(),
+		TroughSize: r.world.NumNodes(),
+	}
+	ledger := r.world.Ledger()
+	startSnap := ledger.Snapshot()
+	minSize := r.minimumSize()
+
+	for step := 0; step < r.cfg.Steps; step++ {
+		if err := r.step(step, minSize, res); err != nil {
+			return nil, fmt.Errorf("sim: step %d: %w", step, err)
+		}
+		n := r.world.NumNodes()
+		if n > res.PeakSize {
+			res.PeakSize = n
+		}
+		if n < res.TroughSize {
+			res.TroughSize = n
+		}
+		if r.cfg.TrackSizes {
+			res.Sizes = append(res.Sizes, n)
+		}
+		deg, cap := r.world.CurrentInsecure()
+		if deg > 0 {
+			res.DegradedSteps++
+		}
+		if cap > 0 {
+			res.CapturedSteps++
+		}
+		if r.cfg.AuditEvery > 0 && step%r.cfg.AuditEvery == 0 {
+			res.Audits = append(res.Audits, r.world.Audit())
+		}
+		if r.cfg.ConsistencyEvery > 0 && step%r.cfg.ConsistencyEvery == 0 {
+			if err := r.world.CheckConsistency(); err != nil {
+				return nil, fmt.Errorf("sim: step %d: %w", step, err)
+			}
+		}
+		res.Steps++
+	}
+	res.Final = r.world.Audit()
+	res.Stats = r.world.Stats()
+	res.TotalCost = ledger.Since(startSnap)
+	return res, nil
+}
+
+// minimumSize is the floor the trajectory may not cross: the model's
+// sqrt(N), but never below two clusters' worth of nodes.
+func (r *Runner) minimumSize() int {
+	sqrtN := int(math.Ceil(math.Sqrt(float64(r.cfg.Core.N))))
+	floor := 2 * r.cfg.Core.TargetClusterSize()
+	if sqrtN > floor {
+		return sqrtN
+	}
+	return floor
+}
+
+func (r *Runner) step(step, minSize int, res *Result) error {
+	// Displaced nodes from MergeRejoinAll re-join on subsequent steps,
+	// taking priority over scheduled churn.
+	r.rejoins = append(r.rejoins, r.world.PendingRejoins()...)
+	if len(r.rejoins) > 0 {
+		x := r.rejoins[0]
+		r.rejoins = r.rejoins[1:]
+		snap := r.world.Ledger().Snapshot()
+		if err := r.world.Rejoin(x); err != nil {
+			return err
+		}
+		r.recordOpCost(res, adversary.OpJoin, snap)
+		return nil
+	}
+
+	n := r.world.NumNodes()
+	target := r.schedule.TargetSize(step)
+	if target > r.cfg.Core.N {
+		target = r.cfg.Core.N
+	}
+	if target < minSize {
+		target = minSize
+	}
+	var dir adversary.Direction
+	switch {
+	case target > n:
+		dir = adversary.Grow
+	case target < n:
+		dir = adversary.Shrink
+	default:
+		// Steady state: keep churning without net growth.
+		if r.rng.Bool(0.5) && n < r.cfg.Core.N {
+			dir = adversary.Grow
+		} else {
+			dir = adversary.Shrink
+		}
+	}
+	// Hard clamps at the model boundary.
+	if n >= r.cfg.Core.N {
+		dir = adversary.Shrink
+	}
+	if n <= minSize {
+		dir = adversary.Grow
+	}
+
+	op := r.strategy.Decide(r.world, r.rng, dir)
+	snap := r.world.Ledger().Snapshot()
+	switch op.Kind {
+	case adversary.OpJoin:
+		var err error
+		if op.HasContact {
+			_, err = r.world.Join(op.Byz, op.Contact)
+		} else {
+			_, err = r.world.JoinAuto(op.Byz)
+		}
+		if err != nil {
+			return err
+		}
+		r.recordOpCost(res, adversary.OpJoin, snap)
+	case adversary.OpLeave:
+		if err := r.world.Leave(op.Victim); err != nil {
+			return err
+		}
+		r.recordOpCost(res, adversary.OpLeave, snap)
+	case adversary.OpNoop:
+		// Nothing to do this step.
+	default:
+		return fmt.Errorf("sim: unknown op kind %d", op.Kind)
+	}
+	return nil
+}
+
+func (r *Runner) recordOpCost(res *Result, kind adversary.OpKind, snap metrics.Snapshot) {
+	if !r.cfg.SampleOpCosts {
+		return
+	}
+	cost := r.world.Ledger().Since(snap)
+	switch kind {
+	case adversary.OpJoin:
+		res.OpCosts.JoinMsgs.Add(float64(cost.Messages))
+		res.OpCosts.JoinRounds.Add(float64(cost.Rounds))
+	case adversary.OpLeave:
+		res.OpCosts.LeaveMsgs.Add(float64(cost.Messages))
+		res.OpCosts.LeaveRounds.Add(float64(cost.Rounds))
+	}
+}

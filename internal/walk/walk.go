@@ -1,0 +1,268 @@
+// Package walk implements the continuous-time random walk (CTRW) machinery
+// at the heart of NOW's sampling (paper sections 3.1 and 4).
+//
+// A CTRW with an independent rate-1 exponential clock on every edge has
+// jump rate deg(v) at vertex v and *uniform* stationary distribution on any
+// connected graph — this is why the paper uses continuous rather than
+// discrete walks on the irregular overlay. The biased walk of footnote
+// (randCl) converts the uniform cluster sample into a cluster sample
+// proportional to cluster size (|C|/n) by rejection: when a walk segment's
+// duration expires at cluster C, the walk accepts with probability
+// |C|/max|C| and otherwise starts a new segment.
+//
+// Every hop is a distributed step: the current cluster's members agree on
+// the holding time and the next neighbor via randNum, and the next cluster
+// accepts the walk token only when more than half of the current cluster's
+// members send identical messages. Costs are charged accordingly. A
+// captured cluster (>= 1/2 Byzantine) controls its outgoing messages
+// entirely, so the adversary may hijack any walk that transits one; this is
+// the failure mode whose absence the protocol maintains.
+package walk
+
+import (
+	"fmt"
+	"math"
+
+	"nowover/internal/ids"
+	"nowover/internal/metrics"
+	"nowover/internal/randnum"
+	"nowover/internal/xrand"
+)
+
+// Topology is the read-only view of the cluster overlay a walk needs. The
+// NOW world implements it.
+type Topology interface {
+	// NumClusters returns the current number of overlay vertices.
+	NumClusters() int
+	// NumOverlayEdges returns the current number of overlay edges.
+	NumOverlayEdges() int
+	// Degree returns the overlay degree of c.
+	Degree(c ids.ClusterID) int
+	// NeighborAt returns the i-th overlay neighbor of c, 0 <= i < Degree(c).
+	NeighborAt(c ids.ClusterID, i int) ids.ClusterID
+	// Size returns |C|, the number of member nodes of c.
+	Size(c ids.ClusterID) int
+	// Byz returns the number of Byzantine members of c.
+	Byz(c ids.ClusterID) int
+	// MaxClusterSize returns max over clusters of |C| (the rejection
+	// denominator of the biased walk).
+	MaxClusterSize() int
+}
+
+// Hijacker is the adversary's hook into walks that transit captured
+// clusters. Redirect is consulted when the walk is at a captured cluster;
+// returning ok=true ends the walk at the returned cluster (the captured
+// cluster forges the remaining protocol).
+type Hijacker interface {
+	Redirect(at ids.ClusterID) (ids.ClusterID, bool)
+}
+
+// Config parameterizes the walker.
+type Config struct {
+	// DurationFactor scales segment duration; a segment aims for roughly
+	// DurationFactor * log2(#C)^2 expected hops, the paper's O(log^2 n)
+	// walk length.
+	DurationFactor float64
+	// MaxRestarts bounds rejection restarts of the biased walk. The paper
+	// needs O(log n) restarts w.h.p.; the bound exists so a pathological
+	// topology cannot stall the simulator, and hitting it is reported.
+	MaxRestarts int
+	// Gen is the cluster randomness source used for every distributed
+	// choice along the walk.
+	Gen randnum.Generator
+	// Hijack, when non-nil, gives the adversary control of walks that
+	// visit captured clusters.
+	Hijack Hijacker
+	// Steer, when non-nil, scores clusters by their value to the
+	// adversary. It is translated into per-draw objectives, which only
+	// biasable generators (randnum.CommitReveal) act on: next-hop draws
+	// prefer higher-scored neighbors and acceptance draws prefer stopping
+	// at higher-scored endpoints. With the Ideal generator Steer has no
+	// effect below capture.
+	Steer func(c ids.ClusterID) float64
+}
+
+func (c Config) validate() error {
+	if c.DurationFactor <= 0 {
+		return fmt.Errorf("walk: non-positive duration factor %v", c.DurationFactor)
+	}
+	if c.MaxRestarts < 1 {
+		return fmt.Errorf("walk: max restarts %d < 1", c.MaxRestarts)
+	}
+	if c.Gen == nil {
+		return fmt.Errorf("walk: nil randomness generator")
+	}
+	return nil
+}
+
+// Walker runs CTRWs over a Topology.
+type Walker struct {
+	cfg  Config
+	topo Topology
+}
+
+// NewWalker validates cfg and returns a walker bound to topo.
+func NewWalker(cfg Config, topo Topology) (*Walker, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if topo == nil {
+		return nil, fmt.Errorf("walk: nil topology")
+	}
+	return &Walker{cfg: cfg, topo: topo}, nil
+}
+
+// Outcome reports one walk's endpoint and diagnostics.
+type Outcome struct {
+	End      ids.ClusterID
+	Hops     int  // clusters transited across all segments
+	Restarts int  // rejection restarts consumed (biased walk only)
+	Hijacked bool // an adversary-captured cluster redirected the walk
+	// WorstSecurity is the weakest randnum security level observed along
+	// the walk; anything above Secure taints the uniformity guarantee.
+	WorstSecurity randnum.Security
+}
+
+// _holdGrid discretizes holding-time randomness: randNum yields an integer
+// in [0, _holdGrid) that is mapped through the exponential inverse CDF.
+// 1<<16 keeps quantization far below walk-length noise.
+const _holdGrid = 1 << 16
+
+// Uniform runs one unbiased CTRW from start and returns its endpoint,
+// which is distributed ~uniformly over clusters once the duration exceeds
+// the mixing time. Used by OVER to draw edge endpoints.
+func (w *Walker) Uniform(led *metrics.Ledger, r *xrand.Rand, start ids.ClusterID) (Outcome, error) {
+	out := Outcome{End: start}
+	err := w.segment(led, r, &out)
+	return out, err
+}
+
+// Biased runs the paper's randCl: a sequence of CTRW segments with
+// size-proportional rejection, returning a cluster with probability
+// ~|C|/n. The sequence is capped at MaxRestarts segments; if the cap is
+// hit the current endpoint is returned with Restarts == MaxRestarts.
+func (w *Walker) Biased(led *metrics.Ledger, r *xrand.Rand, start ids.ClusterID) (Outcome, error) {
+	out := Outcome{End: start}
+	for out.Restarts = 0; out.Restarts < w.cfg.MaxRestarts; out.Restarts++ {
+		if err := w.segment(led, r, &out); err != nil {
+			return out, err
+		}
+		if out.Hijacked {
+			return out, nil
+		}
+		// Acceptance coin: the endpoint cluster draws a number in
+		// [0, maxSize) and accepts when it falls below its own size.
+		maxSize := w.topo.MaxClusterSize()
+		var obj randnum.Objective
+		if w.cfg.Steer != nil {
+			end, size := out.End, int64(w.topo.Size(out.End))
+			score := w.cfg.Steer(end)
+			obj = func(v int64) float64 {
+				if v < size {
+					return score
+				}
+				return 0
+			}
+		}
+		v, sec, err := w.drawObj(led, r, out.End, int64(maxSize), obj)
+		if err != nil {
+			return out, err
+		}
+		out.WorstSecurity = maxSecurity(out.WorstSecurity, sec)
+		if v < int64(w.topo.Size(out.End)) {
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+// segment advances one CTRW of duration DurationFactor * log2(#C)^2 /
+// meanDegree (so the expected number of jumps is ~DurationFactor *
+// log2(#C)^2) starting at out.End, updating out in place.
+func (w *Walker) segment(led *metrics.Ledger, r *xrand.Rand, out *Outcome) error {
+	n := w.topo.NumClusters()
+	if n <= 1 {
+		return nil // single-cluster overlay: the walk stays put
+	}
+	meanDeg := 2 * float64(w.topo.NumOverlayEdges()) / float64(n)
+	if meanDeg <= 0 {
+		return fmt.Errorf("walk: overlay has no edges")
+	}
+	l2 := math.Log2(float64(n))
+	if l2 < 1 {
+		l2 = 1
+	}
+	remaining := w.cfg.DurationFactor * l2 * l2 / meanDeg
+
+	cur := out.End
+	for remaining > 0 {
+		if w.cfg.Hijack != nil && randnum.Classify(w.topo.Size(cur), w.topo.Byz(cur)) == randnum.Captured {
+			if target, ok := w.cfg.Hijack.Redirect(cur); ok {
+				out.End = target
+				out.Hijacked = true
+				out.WorstSecurity = randnum.Captured
+				return nil
+			}
+		}
+		deg := w.topo.Degree(cur)
+		if deg == 0 {
+			break // isolated vertex: the walk cannot move
+		}
+		// Holding time ~ Exp(deg): cluster-agreed via a gridded draw.
+		hv, sec, err := w.draw(led, r, cur, _holdGrid)
+		if err != nil {
+			return err
+		}
+		out.WorstSecurity = maxSecurity(out.WorstSecurity, sec)
+		u := (float64(hv) + 0.5) / _holdGrid
+		remaining -= -math.Log(1-u) / float64(deg)
+		if remaining <= 0 {
+			break
+		}
+		// Next hop: uniform neighbor, cluster-agreed.
+		var obj randnum.Objective
+		if w.cfg.Steer != nil {
+			at := cur
+			obj = func(v int64) float64 { return w.cfg.Steer(w.topo.NeighborAt(at, int(v))) }
+		}
+		nv, sec2, err := w.drawObj(led, r, cur, int64(deg), obj)
+		if err != nil {
+			return err
+		}
+		out.WorstSecurity = maxSecurity(out.WorstSecurity, sec2)
+		next := w.topo.NeighborAt(cur, int(nv))
+		// Handoff: every member of cur messages every member of next; next
+		// accepts on >1/2 identical copies.
+		led.Charge(metrics.ClassWalk, int64(w.topo.Size(cur))*int64(w.topo.Size(next)))
+		led.AddRounds(1)
+		cur = next
+		out.Hops++
+	}
+	out.End = cur
+	return nil
+}
+
+// draw is one cluster-agreed random integer in [0, rng).
+func (w *Walker) draw(led *metrics.Ledger, r *xrand.Rand, c ids.ClusterID, rng int64) (int64, randnum.Security, error) {
+	return w.drawObj(led, r, c, rng, nil)
+}
+
+// drawObj is draw with an adversary objective attached.
+func (w *Walker) drawObj(led *metrics.Ledger, r *xrand.Rand, c ids.ClusterID, rng int64, obj randnum.Objective) (int64, randnum.Security, error) {
+	v, sec, err := w.cfg.Gen.Draw(led, r, randnum.Params{
+		Size: w.topo.Size(c),
+		Byz:  w.topo.Byz(c),
+		R:    rng,
+	}, obj)
+	if err != nil {
+		return 0, sec, fmt.Errorf("walk: draw at %v: %w", c, err)
+	}
+	return v, sec, nil
+}
+
+func maxSecurity(a, b randnum.Security) randnum.Security {
+	if b > a {
+		return b
+	}
+	return a
+}

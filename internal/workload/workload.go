@@ -1,0 +1,109 @@
+// Package workload provides the size schedules that drive churn: the
+// paper's headline regime is a network whose size varies polynomially
+// between sqrt(N) and N (section 2), which no prior clustering scheme
+// tolerated. A Schedule maps a time step to the size the network should
+// have; the simulator converts the difference against the live size into
+// join/leave directions for the adversary strategy.
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule prescribes the target network size per time step.
+type Schedule interface {
+	// TargetSize returns the wanted size at the given step.
+	TargetSize(step int) int
+	// Name labels the schedule in experiment tables.
+	Name() string
+}
+
+// Steady holds the size constant: pure churn with no net growth, the
+// regime of Lemmas 1-3.
+type Steady struct{ Size int }
+
+var _ Schedule = Steady{}
+
+// TargetSize implements Schedule.
+func (s Steady) TargetSize(int) int { return s.Size }
+
+// Name implements Schedule.
+func (s Steady) Name() string { return fmt.Sprintf("steady(%d)", s.Size) }
+
+// Linear ramps from From to To over Steps steps, then holds — the
+// polynomial growth sqrt(N) -> N (or shrink) that is the paper's novelty.
+type Linear struct {
+	From, To int
+	Steps    int
+}
+
+var _ Schedule = Linear{}
+
+// TargetSize implements Schedule.
+func (l Linear) TargetSize(step int) int {
+	if l.Steps <= 0 || step >= l.Steps {
+		return l.To
+	}
+	frac := float64(step) / float64(l.Steps)
+	return l.From + int(math.Round(frac*float64(l.To-l.From)))
+}
+
+// Name implements Schedule.
+func (l Linear) Name() string { return fmt.Sprintf("linear(%d->%d)", l.From, l.To) }
+
+// Oscillate swings the size between Lo and Hi with the given period
+// (triangle wave) — repeated polynomial expansion and contraction.
+type Oscillate struct {
+	Lo, Hi int
+	Period int
+}
+
+var _ Schedule = Oscillate{}
+
+// TargetSize implements Schedule.
+func (o Oscillate) TargetSize(step int) int {
+	if o.Period <= 0 {
+		return o.Lo
+	}
+	phase := step % o.Period
+	half := o.Period / 2
+	if half == 0 {
+		return o.Lo
+	}
+	var frac float64
+	if phase < half {
+		frac = float64(phase) / float64(half)
+	} else {
+		frac = float64(o.Period-phase) / float64(half)
+	}
+	return o.Lo + int(math.Round(frac*float64(o.Hi-o.Lo)))
+}
+
+// Name implements Schedule.
+func (o Oscillate) Name() string {
+	return fmt.Sprintf("oscillate(%d..%d,period=%d)", o.Lo, o.Hi, o.Period)
+}
+
+// FlashCrowd holds at Base, spikes to Peak for the window
+// [SpikeAt, SpikeAt+SpikeLen), then returns to Base — the join-storm /
+// mass-departure stress case.
+type FlashCrowd struct {
+	Base, Peak        int
+	SpikeAt, SpikeLen int
+}
+
+var _ Schedule = FlashCrowd{}
+
+// TargetSize implements Schedule.
+func (f FlashCrowd) TargetSize(step int) int {
+	if step >= f.SpikeAt && step < f.SpikeAt+f.SpikeLen {
+		return f.Peak
+	}
+	return f.Base
+}
+
+// Name implements Schedule.
+func (f FlashCrowd) Name() string {
+	return fmt.Sprintf("flash(%d->%d@%d+%d)", f.Base, f.Peak, f.SpikeAt, f.SpikeLen)
+}

@@ -1,0 +1,114 @@
+package workload
+
+import "testing"
+
+func TestSteady(t *testing.T) {
+	s := Steady{Size: 100}
+	for _, step := range []int{0, 1, 500} {
+		if s.TargetSize(step) != 100 {
+			t.Fatalf("steady moved at step %d", step)
+		}
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestLinearRampUp(t *testing.T) {
+	l := Linear{From: 100, To: 200, Steps: 100}
+	if got := l.TargetSize(0); got != 100 {
+		t.Errorf("start = %d", got)
+	}
+	if got := l.TargetSize(50); got != 150 {
+		t.Errorf("midpoint = %d", got)
+	}
+	if got := l.TargetSize(100); got != 200 {
+		t.Errorf("end = %d", got)
+	}
+	if got := l.TargetSize(500); got != 200 {
+		t.Errorf("after end = %d, want hold at 200", got)
+	}
+	// Monotone non-decreasing.
+	prev := 0
+	for s := 0; s <= 100; s++ {
+		v := l.TargetSize(s)
+		if v < prev {
+			t.Fatalf("ramp not monotone at %d: %d < %d", s, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestLinearRampDown(t *testing.T) {
+	l := Linear{From: 200, To: 100, Steps: 10}
+	if got := l.TargetSize(5); got != 150 {
+		t.Errorf("midpoint = %d", got)
+	}
+	if got := l.TargetSize(10); got != 100 {
+		t.Errorf("end = %d", got)
+	}
+}
+
+func TestLinearDegenerate(t *testing.T) {
+	l := Linear{From: 5, To: 9, Steps: 0}
+	if got := l.TargetSize(0); got != 9 {
+		t.Errorf("zero-step ramp = %d, want To", got)
+	}
+}
+
+func TestOscillate(t *testing.T) {
+	o := Oscillate{Lo: 10, Hi: 30, Period: 20}
+	if got := o.TargetSize(0); got != 10 {
+		t.Errorf("phase 0 = %d", got)
+	}
+	if got := o.TargetSize(10); got != 30 {
+		t.Errorf("half period = %d, want 30", got)
+	}
+	if got := o.TargetSize(20); got != 10 {
+		t.Errorf("full period = %d, want 10", got)
+	}
+	if got := o.TargetSize(5); got != 20 {
+		t.Errorf("quarter period = %d, want 20", got)
+	}
+	// Stays within bounds over several cycles.
+	for s := 0; s < 100; s++ {
+		v := o.TargetSize(s)
+		if v < 10 || v > 30 {
+			t.Fatalf("step %d outside [10,30]: %d", s, v)
+		}
+	}
+}
+
+func TestOscillateDegenerate(t *testing.T) {
+	o := Oscillate{Lo: 5, Hi: 10, Period: 0}
+	if got := o.TargetSize(3); got != 5 {
+		t.Errorf("degenerate oscillate = %d", got)
+	}
+	o1 := Oscillate{Lo: 5, Hi: 10, Period: 1}
+	if got := o1.TargetSize(3); got != 5 {
+		t.Errorf("period-1 oscillate = %d", got)
+	}
+}
+
+func TestFlashCrowd(t *testing.T) {
+	f := FlashCrowd{Base: 100, Peak: 500, SpikeAt: 10, SpikeLen: 5}
+	cases := []struct{ step, want int }{
+		{0, 100}, {9, 100}, {10, 500}, {14, 500}, {15, 100}, {100, 100},
+	}
+	for _, c := range cases {
+		if got := f.TargetSize(c.step); got != c.want {
+			t.Errorf("step %d = %d, want %d", c.step, got, c.want)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, s := range []Schedule{
+		Steady{Size: 1}, Linear{From: 1, To: 2, Steps: 3},
+		Oscillate{Lo: 1, Hi: 2, Period: 3}, FlashCrowd{Base: 1, Peak: 2, SpikeAt: 3, SpikeLen: 4},
+	} {
+		if s.Name() == "" {
+			t.Errorf("%T has empty name", s)
+		}
+	}
+}

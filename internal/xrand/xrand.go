@@ -1,0 +1,119 @@
+// Package xrand provides the deterministic randomness substrate used by
+// every stochastic component of the simulator.
+//
+// All protocol randomness flows through a *Rand so that simulation runs are
+// reproducible from a single seed. Streams can be split hierarchically
+// (Split) so that independent subsystems consume independent substreams and
+// adding randomness consumption to one subsystem does not perturb another.
+package xrand
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Rand is a deterministic, splittable pseudo-random stream.
+//
+// It is NOT safe for concurrent use; give each goroutine its own stream via
+// Split.
+type Rand struct {
+	src *rand.Rand
+}
+
+// New returns a stream seeded from seed.
+func New(seed uint64) *Rand {
+	return &Rand{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Split derives an independent substream. The derivation mixes a label so
+// that distinct labels yield decorrelated streams.
+func (r *Rand) Split(label uint64) *Rand {
+	a := r.src.Uint64()
+	b := r.src.Uint64()
+	return &Rand{src: rand.New(rand.NewPCG(mix(a, label), mix(b, ^label)))}
+}
+
+// mix is a SplitMix64-style finalizer combining a state word with a label.
+func mix(x, label uint64) uint64 {
+	x += 0x9e3779b97f4a7c15 + label
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Uint64 returns a uniform 64-bit value.
+func (r *Rand) Uint64() uint64 { return r.src.Uint64() }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, matching
+// math/rand semantics; callers validate n at protocol boundaries.
+func (r *Rand) Intn(n int) int { return r.src.IntN(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (r *Rand) Int63() int64 { return r.src.Int64() }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 { return r.src.Float64() }
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.src.Float64() < p }
+
+// Exp returns an exponential variate with the given rate (mean 1/rate).
+// It panics if rate <= 0.
+func (r *Rand) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("xrand: non-positive exponential rate")
+	}
+	// Inverse CDF on (0,1]; 1-Float64() avoids log(0).
+	return -math.Log(1-r.src.Float64()) / rate
+}
+
+// Perm returns a uniform permutation of [0, n).
+func (r *Rand) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Pick returns a uniform element of xs. It panics on an empty slice.
+func Pick[T any](r *Rand, xs []T) T {
+	return xs[r.Intn(len(xs))]
+}
+
+// PickWeighted returns an index i with probability weights[i]/sum(weights).
+// Weights must be non-negative with a positive sum.
+func PickWeighted(r *Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		panic("xrand: non-positive weight total")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// SampleWithoutReplacement returns m distinct uniform indices from [0, n).
+// It panics if m > n.
+func SampleWithoutReplacement(r *Rand, n, m int) []int {
+	if m > n {
+		panic("xrand: sample larger than population")
+	}
+	// Floyd's algorithm: O(m) expected work, no O(n) allocation.
+	chosen := make(map[int]struct{}, m)
+	out := make([]int, 0, m)
+	for j := n - m; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
