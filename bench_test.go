@@ -33,9 +33,14 @@ func benchScale() nowover.ExperimentScale {
 
 // runExperiment executes one experiment table per benchmark iteration and
 // renders it once (to stderr on -v style runs is noise; we keep the table
-// output only when NOWOVER_BENCH_TABLES=1).
+// output only when NOWOVER_BENCH_TABLES=1). Cells fan out across the
+// experiment worker pool (NOWBENCH_PARALLEL overrides the GOMAXPROCS
+// default); tables are byte-identical at any parallelism.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("experiment benchmark skipped in -short mode")
+	}
 	run, ok := nowover.Experiments()[id]
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
@@ -76,6 +81,40 @@ func BenchmarkAblationMergeStrategy(b *testing.B) { runExperiment(b, "A1") }
 func BenchmarkAblationLeaveCascade(b *testing.B)  { runExperiment(b, "A2") }
 func BenchmarkAblationDegreeRepair(b *testing.B)  { runExperiment(b, "A3") }
 func BenchmarkAblationCommitReveal(b *testing.B)  { runExperiment(b, "A4") }
+
+// BenchmarkExperimentSuite measures the wall-clock of a fixed experiment
+// subset end to end, serial vs parallel — the headline number for the
+// worker-pool runner. The subset (one churn sweep, one walk sweep, one
+// grid sweep) is cell-rich so the pool has work to spread.
+func BenchmarkExperimentSuite(b *testing.B) {
+	if testing.Short() {
+		b.Skip("experiment benchmark skipped in -short mode")
+	}
+	subset := []string{"E1", "E4", "E12"}
+	scale := benchScale()
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // 0 = auto: NOWBENCH_PARALLEL, then GOMAXPROCS
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			nowover.SetParallelism(mode.workers)
+			defer nowover.SetParallelism(0)
+			b.ReportMetric(float64(nowover.Parallelism()), "workers")
+			reg := nowover.Experiments()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, id := range subset {
+					if _, err := reg[id](scale); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
 
 // --- primitive micro-benchmarks ---
 

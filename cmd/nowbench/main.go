@@ -8,6 +8,11 @@
 //	nowbench -exp E1,E4       # selected experiments
 //	nowbench -full            # the long-running sweep
 //	nowbench -csv out/        # also write CSV files
+//	nowbench -parallel 1      # force the serial runner (default: GOMAXPROCS)
+//
+// Independent experiment cells run on a worker pool sized by -parallel
+// (or the NOWBENCH_PARALLEL environment variable when the flag is 0);
+// tables are byte-identical at any parallelism.
 package main
 
 import (
@@ -30,12 +35,16 @@ func main() {
 
 func run() error {
 	var (
-		expFlag = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		full    = flag.Bool("full", false, "use the long-running scale")
-		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV files")
-		seed    = flag.Uint64("seed", 1, "random seed")
+		expFlag  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		full     = flag.Bool("full", false, "use the long-running scale")
+		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", 0, "experiment worker count: 1 = serial, 0 = auto (NOWBENCH_PARALLEL, then GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	nowover.SetParallelism(*parallel)
+	fmt.Printf("nowbench: %d worker(s)\n\n", nowover.Parallelism())
 
 	scale := nowover.QuickScale()
 	if *full {

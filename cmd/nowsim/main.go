@@ -3,11 +3,17 @@
 // degrees — the live view of Theorem 3 holding (or, with ablation flags,
 // failing).
 //
+// With -runs R > 1 it instead fans R independent replicas of the same
+// scenario (seeds seed, seed+1, ..., seed+R-1) across the experiment
+// worker pool and prints one summary line per replica plus an aggregate
+// verdict — the Monte-Carlo view of the same invariant.
+//
 // Examples:
 //
 //	nowsim -N 4096 -n0 1024 -tau 0.2 -steps 4000
 //	nowsim -N 4096 -n0 512 -tau 0.25 -schedule grow -steps 3000
 //	nowsim -N 2048 -tau 0.3 -attack joinleave -noshuffle -steps 2000
+//	nowsim -N 2048 -tau 0.25 -steps 2000 -runs 16        # replica sweep
 package main
 
 import (
@@ -38,6 +44,8 @@ func run() error {
 		noShuffle = flag.Bool("noshuffle", false, "ablation: disable all shuffling (exchange on join/leave, cascades)")
 		merge     = flag.String("merge", "absorb", "merge strategy: absorb | rejoin")
 		every     = flag.Int("report", 0, "print an audit every k steps (default steps/10)")
+		runs      = flag.Int("runs", 1, "independent replicas to run (seeds seed..seed+runs-1)")
+		parallel  = flag.Int("parallel", 0, "worker count for -runs: 1 = serial, 0 = auto (NOWBENCH_PARALLEL, then GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -50,68 +58,92 @@ func run() error {
 			*every = 1
 		}
 	}
+	if *runs < 1 {
+		return fmt.Errorf("-runs must be >= 1, got %d", *runs)
+	}
+	if *runs > 1 {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "report" {
+				fmt.Fprintln(os.Stderr, "nowsim: -report is ignored with -runs > 1 (replica sweeps print summaries, not audit timelines)")
+			}
+		})
+	}
+	nowover.SetParallelism(*parallel)
 
-	cfg := nowover.SimConfig{
-		Core:          nowover.DefaultConfig(*maxN),
-		InitialSize:   *n0,
-		Tau:           *tau,
-		Steps:         *steps,
-		Seed:          *seed,
-		AuditEvery:    *every,
-		SampleOpCosts: true,
-	}
-	cfg.Core.Seed = *seed
-	cfg.Core.K = *k
-	if *noShuffle {
-		cfg.Core.ExchangeOnJoin = false
-		cfg.Core.ExchangeOnLeave = false
-		cfg.Core.LeaveCascade = false
-	}
-	switch *merge {
-	case "absorb":
-		cfg.Core.MergeStrategy = nowover.MergeAbsorbRandom
-	case "rejoin":
-		cfg.Core.MergeStrategy = nowover.MergeRejoinAll
-	default:
-		return fmt.Errorf("unknown merge strategy %q", *merge)
+	makeConfig := func(runSeed uint64) (nowover.SimConfig, error) {
+		cfg := nowover.SimConfig{
+			Core:          nowover.DefaultConfig(*maxN),
+			InitialSize:   *n0,
+			Tau:           *tau,
+			Steps:         *steps,
+			Seed:          runSeed,
+			AuditEvery:    *every,
+			SampleOpCosts: true,
+		}
+		cfg.Core.Seed = runSeed
+		cfg.Core.K = *k
+		if *noShuffle {
+			cfg.Core.ExchangeOnJoin = false
+			cfg.Core.ExchangeOnLeave = false
+			cfg.Core.LeaveCascade = false
+		}
+		switch *merge {
+		case "absorb":
+			cfg.Core.MergeStrategy = nowover.MergeAbsorbRandom
+		case "rejoin":
+			cfg.Core.MergeStrategy = nowover.MergeRejoinAll
+		default:
+			return cfg, fmt.Errorf("unknown merge strategy %q", *merge)
+		}
+
+		switch *schedule {
+		case "steady":
+			cfg.Schedule = nowover.Steady{Size: *n0}
+		case "grow":
+			cfg.Schedule = nowover.Linear{From: *n0, To: *maxN, Steps: *steps}
+		case "shrink":
+			cfg.Schedule = nowover.Linear{From: *n0, To: *n0 / 4, Steps: *steps}
+		case "oscillate":
+			cfg.Schedule = nowover.Oscillate{Lo: *n0 / 2, Hi: *n0 * 2, Period: *steps / 2}
+		case "flash":
+			cfg.Schedule = nowover.FlashCrowd{Base: *n0, Peak: *n0 * 2, SpikeAt: *steps / 3, SpikeLen: *steps / 3}
+		default:
+			return cfg, fmt.Errorf("unknown schedule %q", *schedule)
+		}
+
+		budget := nowover.Budget{Tau: *tau}
+		switch *attack {
+		case "none":
+			// default RandomChurn
+		case "joinleave":
+			cfg.Strategy = &nowover.JoinLeaveAttack{Budget: budget}
+			cfg.InstallHijacker = true
+		case "dos":
+			cfg.Strategy = &nowover.DOSAttack{Budget: budget}
+			cfg.InstallHijacker = true
+		default:
+			return cfg, fmt.Errorf("unknown attack %q", *attack)
+		}
+		return cfg, nil
 	}
 
-	switch *schedule {
-	case "steady":
-		cfg.Schedule = nowover.Steady{Size: *n0}
-	case "grow":
-		cfg.Schedule = nowover.Linear{From: *n0, To: *maxN, Steps: *steps}
-	case "shrink":
-		cfg.Schedule = nowover.Linear{From: *n0, To: *n0 / 4, Steps: *steps}
-	case "oscillate":
-		cfg.Schedule = nowover.Oscillate{Lo: *n0 / 2, Hi: *n0 * 2, Period: *steps / 2}
-	case "flash":
-		cfg.Schedule = nowover.FlashCrowd{Base: *n0, Peak: *n0 * 2, SpikeAt: *steps / 3, SpikeLen: *steps / 3}
-	default:
-		return fmt.Errorf("unknown schedule %q", *schedule)
-	}
-
-	budget := nowover.Budget{Tau: *tau}
-	switch *attack {
-	case "none":
-		// default RandomChurn
-	case "joinleave":
-		cfg.Strategy = &nowover.JoinLeaveAttack{Budget: budget}
-		cfg.InstallHijacker = true
-	case "dos":
-		cfg.Strategy = &nowover.DOSAttack{Budget: budget}
-		cfg.InstallHijacker = true
-	default:
-		return fmt.Errorf("unknown attack %q", *attack)
+	// Validate the flag set once before fanning out.
+	refCfg, err := makeConfig(*seed)
+	if err != nil {
+		return err
 	}
 
 	fmt.Printf("nowsim: N=%d n0=%d tau=%.2f K=%.1f steps=%d schedule=%s attack=%s shuffle=%v merge=%s\n",
 		*maxN, *n0, *tau, *k, *steps, *schedule, *attack, !*noShuffle, *merge)
 	fmt.Printf("cluster size target %d (split >%d, merge <%d), overlay degree target %d (cap %d)\n\n",
-		cfg.Core.TargetClusterSize(), cfg.Core.SplitThreshold(), cfg.Core.MergeThreshold(),
-		cfg.Core.TargetDegree(), cfg.Core.DegreeCap())
+		refCfg.Core.TargetClusterSize(), refCfg.Core.SplitThreshold(), refCfg.Core.MergeThreshold(),
+		refCfg.Core.TargetDegree(), refCfg.Core.DegreeCap())
 
-	res, err := nowover.Simulate(cfg)
+	if *runs > 1 {
+		return runReplicas(makeConfig, *seed, *runs)
+	}
+
+	res, err := nowover.Simulate(refCfg)
 	if err != nil {
 		return err
 	}
@@ -140,5 +172,60 @@ func run() error {
 		verdict = "VIOLATED (cluster captured)"
 	}
 	fmt.Printf("\nTheorem 3 invariant: %s\n", verdict)
+	return nil
+}
+
+// runReplicas fans runs independent replicas across the experiment worker
+// pool (each with its own derived seed and world) and prints per-replica
+// summaries in seed order plus the aggregate Theorem 3 verdict.
+func runReplicas(makeConfig func(uint64) (nowover.SimConfig, error), seed uint64, runs int) error {
+	fmt.Printf("replica sweep: %d runs on %d worker(s)\n\n", runs, nowover.Parallelism())
+	results := make([]*nowover.SimResult, runs)
+	err := nowover.ForEachRun(runs, func(i int) error {
+		cfg, err := makeConfig(seed + uint64(i))
+		if err != nil {
+			return err
+		}
+		cfg.AuditEvery = 0 // timelines are per-run noise in sweep mode
+		res, err := nowover.Simulate(cfg)
+		if err != nil {
+			return fmt.Errorf("replica %d (seed %d): %w", i, seed+uint64(i), err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	captured := 0
+	degraded := 0
+	worst := 0.0
+	for i, res := range results {
+		verdict := "HELD"
+		if res.Stats.CapturedEvents > 0 {
+			verdict = "VIOLATED"
+			captured++
+		}
+		if res.Stats.DegradedEvents > 0 {
+			degraded++
+		}
+		if res.Stats.MaxByzFractionEver > worst {
+			worst = res.Stats.MaxByzFractionEver
+		}
+		fmt.Printf("  run %-3d seed=%-6d maxByzFrac=%.3f degraded=%-4d captured=%-4d dwell=%4.1f%%/%4.1f%%  %s\n",
+			i, seed+uint64(i), res.Stats.MaxByzFractionEver,
+			res.Stats.DegradedEvents, res.Stats.CapturedEvents,
+			100*float64(res.DegradedSteps)/float64(res.Steps),
+			100*float64(res.CapturedSteps)/float64(res.Steps),
+			verdict)
+	}
+	fmt.Printf("\naggregate: %d/%d runs captured, %d/%d degraded, worst byz fraction %.3f\n",
+		captured, runs, degraded, runs, worst)
+	verdict := "HELD"
+	if captured > 0 {
+		verdict = fmt.Sprintf("VIOLATED in %d/%d runs", captured, runs)
+	}
+	fmt.Printf("Theorem 3 invariant across replicas: %s\n", verdict)
 	return nil
 }

@@ -1,0 +1,3 @@
+module nowover
+
+go 1.22

@@ -224,6 +224,9 @@ func TestSplitOnGrowth(t *testing.T) {
 }
 
 func TestMergeOnShrink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("merge churn sweep skipped in -short mode")
+	}
 	cfg := smallConfig()
 	w := testWorld(t, cfg, 500, 0)
 	r := xrand.New(5)
@@ -252,6 +255,9 @@ func TestMergeOnShrink(t *testing.T) {
 }
 
 func TestMergeRejoinAllStrategy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("merge churn sweep skipped in -short mode")
+	}
 	cfg := smallConfig()
 	cfg.MergeStrategy = MergeRejoinAll
 	w := testWorld(t, cfg, 500, 0)

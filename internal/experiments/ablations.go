@@ -46,8 +46,9 @@ func AblationMergeStrategy(s Scale) (*Table, error) {
 	}
 	n := s.Ns[len(s.Ns)-1]
 	steps := int(s.OpsFactor * float64(n))
-	for _, strat := range []core.MergeStrategy{core.MergeAbsorbRandom, core.MergeRejoinAll} {
-		strat := strat
+	strategies := []core.MergeStrategy{core.MergeAbsorbRandom, core.MergeRejoinAll}
+	if err := t.RunCells(len(strategies), func(i int, frag *Table) error {
+		strat := strategies[i]
 		cfg := sim.Config{
 			Core:          core.DefaultConfig(n),
 			InitialSize:   n / 2,
@@ -61,16 +62,19 @@ func AblationMergeStrategy(s Scale) (*Table, error) {
 		cfg.Core.MergeStrategy = strat
 		runner, err := sim.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := runner.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(n, strat.String(), res.Stats.Merges,
+		frag.AddRow(n, strat.String(), res.Stats.Merges,
 			res.Stats.MaxByzFractionEver, res.Stats.CapturedEvents,
 			res.OpCosts.LeaveMsgs.Mean(),
 			res.Final.MinDegree, res.Final.OverlayConnected)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -89,8 +93,9 @@ func AblationLeaveCascade(s Scale) (*Table, error) {
 	}
 	n := s.Ns[len(s.Ns)-1]
 	steps := int(s.OpsFactor * float64(n))
-	for _, cascade := range []bool{true, false} {
-		cascade := cascade
+	cascades := []bool{true, false}
+	if err := t.RunCells(len(cascades), func(i int, frag *Table) error {
+		cascade := cascades[i]
 		res, err := ablationRun(n, 0.25, steps, s.Seed,
 			&adversary.JoinLeaveAttack{Budget: adversary.Budget{Tau: 0.25}},
 			func(c *core.Config) {
@@ -99,12 +104,15 @@ func AblationLeaveCascade(s Scale) (*Table, error) {
 				c.L = 1.6
 			})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(n, cascade, res.OpCosts.LeaveMsgs.Mean(),
+		frag.AddRow(n, cascade, res.OpCosts.LeaveMsgs.Mean(),
 			res.Stats.MaxByzFractionEver,
 			100*float64(res.DegradedSteps)/float64(res.Steps),
 			100*float64(res.CapturedSteps)/float64(res.Steps))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"the cascade multiplies leave cost by ~|C| but keeps receiver clusters freshly mixed under targeted churn",
@@ -124,8 +132,9 @@ func AblationDegreeRepair(s Scale) (*Table, error) {
 	}
 	n := s.Ns[len(s.Ns)-1]
 	steps := int(s.OpsFactor * float64(n))
-	for _, repair := range []bool{true, false} {
-		repair := repair
+	repairs := []bool{true, false}
+	if err := t.RunCells(len(repairs), func(i int, frag *Table) error {
+		repair := repairs[i]
 		cfg := sim.Config{
 			Core:        core.DefaultConfig(n),
 			InitialSize: n / 2,
@@ -138,14 +147,17 @@ func AblationDegreeRepair(s Scale) (*Table, error) {
 		cfg.Core.OverlayRepair = repair
 		runner, err := sim.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := runner.Run(); err != nil {
-			return nil, err
+			return err
 		}
 		h := runner.World().OverlayHealth(60, 40)
-		t.AddRow(n, repair, h.MinDegree, h.MaxDegree, h.SpectralGap,
+		frag.AddRow(n, repair, h.MinDegree, h.MaxDegree, h.SpectralGap,
 			h.IsoEstimate, h.Connected)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -164,14 +176,15 @@ func AblationCommitReveal(s Scale) (*Table, error) {
 	}
 	n := s.Ns[len(s.Ns)-1] / 2
 	steps := int(2 * s.OpsFactor * float64(n))
-	for _, gen := range []struct {
+	gens := []struct {
 		name string
 		g    randnum.Generator
 	}{
 		{"ideal", randnum.Ideal{}},
 		{"commit-reveal", randnum.CommitReveal{}},
-	} {
-		gen := gen
+	}
+	if err := t.RunCells(len(gens), func(i int, frag *Table) error {
+		gen := gens[i]
 		cfg := sim.Config{
 			Core:            core.DefaultConfig(n),
 			InitialSize:     n / 2,
@@ -186,7 +199,7 @@ func AblationCommitReveal(s Scale) (*Table, error) {
 		cfg.Core.Generator = gen.g
 		runner, err := sim.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Give the biasable generator an adversary objective: steer walks
 		// toward the attack target.
@@ -201,12 +214,15 @@ func AblationCommitReveal(s Scale) (*Table, error) {
 		}
 		res, err := runner.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(n, gen.name, res.Stats.MaxByzFractionEver,
+		frag.AddRow(n, gen.name, res.Stats.MaxByzFractionEver,
 			100*float64(res.DegradedSteps)/float64(res.Steps),
 			100*float64(res.CapturedSteps)/float64(res.Steps),
 			res.Stats.HijackedWalks)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"commit-reveal should show elevated pollution of the attack target relative to the ideal generator — the cost of last-revealer bias")

@@ -25,21 +25,23 @@ func E10Applications(s Scale) (*Table, error) {
 		Columns: []string{"n", "bcastMsgs", "floodingMsgs", "ratio",
 			"sampleMsgs(mean)", "aggMsgs", "aggExact"},
 	}
-	var xs, bcastY []float64
-	for _, n := range s.Ns {
+	xs := make([]float64, len(s.Ns))
+	bcastY := make([]float64, len(s.Ns))
+	if err := t.RunCells(len(s.Ns), func(i int, frag *Table) error {
+		n := s.Ns[i]
 		w, err := midWorld(n, 0.10, s.Seed, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var led metrics.Ledger
 		src := w.Clusters()[0]
 		bc, err := apps.Broadcast(&led, w, src)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sampler, err := apps.NewSampler(w, w.Walker(), w.Generator(), w.MemberAt)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r := xrand.New(s.Seed ^ 0xE10)
 		var sampleMsgs metrics.Welford
@@ -51,20 +53,23 @@ func E10Applications(s Scale) (*Table, error) {
 			contact, _ := w.RandomCluster(r)
 			rep, err := sampler.Sample(&led, r, contact)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sampleMsgs.Add(float64(rep.Messages))
 		}
 		agg, err := apps.Aggregate(&led, w, src, func(ids.ClusterID, int) int64 { return 1 })
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ok := agg.Value == agg.Exact
-		t.AddRow(w.NumNodes(), bc.Messages, bc.FloodingMessages,
+		frag.AddRow(w.NumNodes(), bc.Messages, bc.FloodingMessages,
 			float64(bc.FloodingMessages)/float64(bc.Messages),
 			sampleMsgs.Mean(), agg.Messages, ok)
-		xs = append(xs, float64(w.NumNodes()))
-		bcastY = append(bcastY, float64(bc.Messages))
+		xs[i] = float64(w.NumNodes())
+		bcastY[i] = float64(bc.Messages)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	if len(xs) >= 2 {
 		fit := metrics.FitPowerLaw(xs, bcastY)
@@ -92,56 +97,22 @@ func E11Baselines(s Scale) (*Table, error) {
 	growSteps := int(s.OpsFactor * float64(n) / 2)
 	n0 := n / 4
 
-	// (a) NOW under growth.
-	cfg := sim.Config{
-		Core:          core.DefaultConfig(n),
-		InitialSize:   n0,
-		Tau:           0.20,
-		Schedule:      workload.Linear{From: n0, To: n, Steps: growSteps},
-		Steps:         growSteps,
-		Seed:          s.Seed,
-		SampleOpCosts: true,
-	}
-	cfg.Core.Seed = s.Seed
-	cfg.Core.K = 4
-	cfg.Core.L = 1.6
-	runner, err := sim.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	res, err := runner.Run()
-	if err != nil {
-		return nil, err
-	}
-	nowDwell := fmt.Sprintf("dwell %.1f%%/%.1f%%",
-		100*float64(res.DegradedSteps)/float64(res.Steps),
-		100*float64(res.CapturedSteps)/float64(res.Steps))
-	t.AddRow(n, "NOW", "4x", res.Final.MaxSize, cfg.Core.TargetClusterSize(),
-		res.Stats.MaxByzFractionEver, nowDwell,
-		res.OpCosts.JoinMsgs.Mean())
+	// Shared reference config: the target-cluster-size column of every row
+	// uses the NOW growth run's parameters (K=4, L=1.6).
+	refCore := core.DefaultConfig(n)
+	refCore.K = 4
+	refCore.L = 1.6
+	target := refCore.TargetClusterSize()
 
-	// (b) Static-#C under the same growth.
-	static, err := baseline.NewStaticCluster(n0/cfg.Core.TargetClusterSize(), n0, 0.20, s.Seed)
-	if err != nil {
-		return nil, err
-	}
-	snapBefore := static.Ledger().Snapshot()
-	joins := 0
-	for static.NumNodes() < n {
-		static.Join(false)
-		joins++
-	}
-	staticAudit := static.Audit()
-	perOp := float64(static.Ledger().Since(snapBefore).Messages) / float64(joins)
-	t.AddRow(n, "static-#C", "4x", staticAudit.MaxSize, cfg.Core.TargetClusterSize(),
-		staticAudit.MaxByzFraction, "n/a", perOp)
-
-	// (c) No-shuffle NOW under the join-leave attack (steady size). The
-	// comparison metric is DWELL time in insecure states: shuffling makes
-	// many independent re-rolls (each a small tail risk that the next
-	// exchange repairs), while without shuffling pollution persists. Raw
-	// transition counts would spuriously favor the frozen system.
-	for _, shuffled := range []bool{true, false} {
+	// The four expensive system runs — (a) NOW growth, (b) static-#C
+	// growth, (c) attack with and without shuffling — are mutually
+	// independent: fan them out as cells, splicing rows in section order.
+	attackRun := func(frag *Table, shuffled bool) error {
+		// Comparison metric is DWELL time in insecure states: shuffling
+		// makes many independent re-rolls (each a small tail risk that the
+		// next exchange repairs), while without shuffling pollution
+		// persists. Raw transition counts would spuriously favor the
+		// frozen system.
 		acfg := sim.Config{
 			Core:            core.DefaultConfig(n),
 			InitialSize:     n / 2,
@@ -163,22 +134,76 @@ func E11Baselines(s Scale) (*Table, error) {
 		}
 		arunner, err := sim.New(acfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ares, err := arunner.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dwell := fmt.Sprintf("dwell %.1f%%/%.1f%%",
 			100*float64(ares.DegradedSteps)/float64(ares.Steps),
 			100*float64(ares.CapturedSteps)/float64(ares.Steps))
-		t.AddRow(n, name, "steady", ares.Final.MaxSize, acfg.Core.TargetClusterSize(),
+		frag.AddRow(n, name, "steady", ares.Final.MaxSize, acfg.Core.TargetClusterSize(),
 			ares.Stats.MaxByzFractionEver, dwell, "n/a")
+		return nil
+	}
+	sections := []func(frag *Table) error{
+		func(frag *Table) error { // (a) NOW under growth.
+			cfg := sim.Config{
+				Core:          refCore,
+				InitialSize:   n0,
+				Tau:           0.20,
+				Schedule:      workload.Linear{From: n0, To: n, Steps: growSteps},
+				Steps:         growSteps,
+				Seed:          s.Seed,
+				SampleOpCosts: true,
+			}
+			cfg.Core.Seed = s.Seed
+			runner, err := sim.New(cfg)
+			if err != nil {
+				return err
+			}
+			res, err := runner.Run()
+			if err != nil {
+				return err
+			}
+			nowDwell := fmt.Sprintf("dwell %.1f%%/%.1f%%",
+				100*float64(res.DegradedSteps)/float64(res.Steps),
+				100*float64(res.CapturedSteps)/float64(res.Steps))
+			frag.AddRow(n, "NOW", "4x", res.Final.MaxSize, target,
+				res.Stats.MaxByzFractionEver, nowDwell,
+				res.OpCosts.JoinMsgs.Mean())
+			return nil
+		},
+		func(frag *Table) error { // (b) Static-#C under the same growth.
+			static, err := baseline.NewStaticCluster(n0/target, n0, 0.20, s.Seed)
+			if err != nil {
+				return err
+			}
+			snapBefore := static.Ledger().Snapshot()
+			joins := 0
+			for static.NumNodes() < n {
+				static.Join(false)
+				joins++
+			}
+			staticAudit := static.Audit()
+			perOp := float64(static.Ledger().Since(snapBefore).Messages) / float64(joins)
+			frag.AddRow(n, "static-#C", "4x", staticAudit.MaxSize, target,
+				staticAudit.MaxByzFraction, "n/a", perOp)
+			return nil
+		},
+		func(frag *Table) error { return attackRun(frag, true) },  // (c) full NOW under attack
+		func(frag *Table) error { return attackRun(frag, false) }, // (c) no-shuffle strawman
+	}
+	if err := t.RunCells(len(sections), func(i int, frag *Table) error {
+		return sections[i](frag)
+	}); err != nil {
+		return nil, err
 	}
 
 	// (d) Single-cluster decision-cost reference.
 	var sc baseline.SingleCluster
-	t.AddRow(n, "single-cluster", "n/a", n, cfg.Core.TargetClusterSize(),
+	t.AddRow(n, "single-cluster", "n/a", n, target,
 		0.20, "n/a", float64(sc.DecisionCost(n)))
 	t.Notes = append(t.Notes,
 		"static-#C keeps tau-level safety only because its clusters balloon to n/#C — the very cost blow-up the paper's intro rejects; NOW keeps clusters at Theta(log N)",
@@ -199,29 +224,32 @@ func E12SecurityMargins(s Scale) (*Table, error) {
 	}
 	n := s.Ns[len(s.Ns)-1] / 2 // keep the sweep affordable
 	steps := int(s.OpsFactor * float64(n))
-	for _, tau := range []float64{0.10, 0.20, 0.30, 0.33} {
-		for _, k := range []float64{1, 2, 4} {
-			cfg := sim.Config{
-				Core:        core.DefaultConfig(n),
-				InitialSize: n / 2,
-				Tau:         tau,
-				Steps:       steps,
-				Seed:        s.Seed,
-			}
-			cfg.Core.K = k
-			cfg.Core.Seed = s.Seed
-			runner, err := sim.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			res, err := runner.Run()
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(n, tau, k, cfg.Core.TargetClusterSize(), res.Steps,
-				res.Stats.DegradedEvents, res.Stats.CapturedEvents,
-				res.Stats.MaxByzFractionEver)
+	cells := gridCells([]float64{0.10, 0.20, 0.30, 0.33}, []float64{1, 2, 4})
+	if err := t.RunCells(len(cells), func(i int, frag *Table) error {
+		tau, k := cells[i].a, cells[i].b
+		cfg := sim.Config{
+			Core:        core.DefaultConfig(n),
+			InitialSize: n / 2,
+			Tau:         tau,
+			Steps:       steps,
+			Seed:        s.Seed,
 		}
+		cfg.Core.K = k
+		cfg.Core.Seed = s.Seed
+		runner, err := sim.New(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := runner.Run()
+		if err != nil {
+			return err
+		}
+		frag.AddRow(n, tau, k, cfg.Core.TargetClusterSize(), res.Steps,
+			res.Stats.DegradedEvents, res.Stats.CapturedEvents,
+			res.Stats.MaxByzFractionEver)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"reading guide: at fixed tau, events should fall sharply as K doubles (Chernoff in |C|); at fixed K, tau -> 1/3 erases the epsilon margin exactly as the theory requires")

@@ -38,11 +38,15 @@ func E4RandClCost(s Scale) (*Table, error) {
 		Columns: []string{"N", "walks", "meanMsgs", "meanRounds", "meanHops",
 			"msgs/log^5N", "rounds/log^4N"},
 	}
-	var xs, msgsY, roundsY, hopsY []float64
-	for _, n := range s.Ns {
+	xs := make([]float64, len(s.Ns))
+	msgsY := make([]float64, len(s.Ns))
+	roundsY := make([]float64, len(s.Ns))
+	hopsY := make([]float64, len(s.Ns))
+	if err := t.RunCells(len(s.Ns), func(i int, frag *Table) error {
+		n := s.Ns[i]
 		w, err := midWorld(n, 0.15, s.Seed, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		led := w.Ledger()
 		r := xrand.New(s.Seed ^ 0xE4)
@@ -52,7 +56,7 @@ func E4RandClCost(s Scale) (*Table, error) {
 			snap := led.Snapshot()
 			out, err := w.Walker().Biased(led, w.Rng(), start)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			cost := led.Since(snap)
 			msgs.Add(float64(cost.Messages))
@@ -60,12 +64,15 @@ func E4RandClCost(s Scale) (*Table, error) {
 			hops.Add(float64(out.Hops))
 		}
 		l := math.Log2(float64(n))
-		t.AddRow(n, s.Walks, msgs.Mean(), rounds.Mean(), hops.Mean(),
+		frag.AddRow(n, s.Walks, msgs.Mean(), rounds.Mean(), hops.Mean(),
 			msgs.Mean()/math.Pow(l, 5), rounds.Mean()/math.Pow(l, 4))
-		xs = append(xs, float64(n))
-		msgsY = append(msgsY, msgs.Mean())
-		roundsY = append(roundsY, rounds.Mean())
-		hopsY = append(hopsY, hops.Mean())
+		xs[i] = float64(n)
+		msgsY[i] = msgs.Mean()
+		roundsY[i] = rounds.Mean()
+		hopsY[i] = hops.Mean()
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	if len(xs) >= 2 {
 		t.Notes = append(t.Notes,
@@ -98,12 +105,15 @@ func E5ExchangeCost(s Scale) (*Table, error) {
 		Columns: []string{"N", "exchanges", "meanMsgs", "meanRounds",
 			"msgs/log^6N", "rounds/log^4N"},
 	}
-	var xs, msgsY, roundsY []float64
 	trials := 10 * s.Trials
-	for _, n := range s.Ns {
+	xs := make([]float64, len(s.Ns))
+	msgsY := make([]float64, len(s.Ns))
+	roundsY := make([]float64, len(s.Ns))
+	if err := t.RunCells(len(s.Ns), func(i int, frag *Table) error {
+		n := s.Ns[i]
 		w, err := midWorld(n, 0.15, s.Seed, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		led := w.Ledger()
 		r := xrand.New(s.Seed ^ 0xE5)
@@ -112,18 +122,21 @@ func E5ExchangeCost(s Scale) (*Table, error) {
 			c, _ := w.RandomCluster(r)
 			snap := led.Snapshot()
 			if err := w.ForceExchange(c); err != nil {
-				return nil, err
+				return err
 			}
 			cost := led.Since(snap)
 			msgs.Add(float64(cost.Messages))
 			rounds.Add(float64(cost.Rounds))
 		}
 		l := math.Log2(float64(n))
-		t.AddRow(n, trials, msgs.Mean(), rounds.Mean(),
+		frag.AddRow(n, trials, msgs.Mean(), rounds.Mean(),
 			msgs.Mean()/math.Pow(l, 6), rounds.Mean()/math.Pow(l, 4))
-		xs = append(xs, float64(n))
-		msgsY = append(msgsY, msgs.Mean())
-		roundsY = append(roundsY, rounds.Mean())
+		xs[i] = float64(n)
+		msgsY[i] = msgs.Mean()
+		roundsY[i] = rounds.Mean()
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	if len(xs) >= 2 {
 		t.Notes = append(t.Notes,
@@ -144,8 +157,11 @@ func E6OperationCost(s Scale) (*Table, error) {
 		Columns: []string{"N", "ops", "join:mean", "join:p95", "leave:mean",
 			"leave:p95", "joinRounds", "leaveRounds"},
 	}
-	var xs, joinY, leaveY []float64
-	for _, n := range s.Ns {
+	xs := make([]float64, len(s.Ns))
+	joinY := make([]float64, len(s.Ns))
+	leaveY := make([]float64, len(s.Ns))
+	if err := t.RunCells(len(s.Ns), func(i int, frag *Table) error {
+		n := s.Ns[i]
 		cfg := sim.Config{
 			Core:          core.DefaultConfig(n),
 			InitialSize:   n / 2,
@@ -157,19 +173,22 @@ func E6OperationCost(s Scale) (*Table, error) {
 		cfg.Core.Seed = s.Seed
 		runner, err := sim.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := runner.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(n, res.Steps,
+		frag.AddRow(n, res.Steps,
 			res.OpCosts.JoinMsgs.Mean(), res.OpCosts.JoinMsgs.Quantile(0.95),
 			res.OpCosts.LeaveMsgs.Mean(), res.OpCosts.LeaveMsgs.Quantile(0.95),
 			res.OpCosts.JoinRounds.Mean(), res.OpCosts.LeaveRounds.Mean())
-		xs = append(xs, float64(n))
-		joinY = append(joinY, res.OpCosts.JoinMsgs.Mean())
-		leaveY = append(leaveY, res.OpCosts.LeaveMsgs.Mean())
+		xs[i] = float64(n)
+		joinY[i] = res.OpCosts.JoinMsgs.Mean()
+		leaveY[i] = res.OpCosts.LeaveMsgs.Mean()
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	if len(xs) >= 2 {
 		joinFit := metrics.FitPolylog(xs, joinY)
@@ -194,12 +213,14 @@ func E7WalkUniformity(s Scale) (*Table, error) {
 			"TV(perNodeUniform)", "meanHops"},
 	}
 	n := s.Ns[len(s.Ns)-1]
-	for _, factor := range []float64{0.0625, 0.125, 0.25, 0.5, 1, 2} {
+	factors := []float64{0.0625, 0.125, 0.25, 0.5, 1, 2}
+	if err := t.RunCells(len(factors), func(i int, frag *Table) error {
+		factor := factors[i]
 		w, err := midWorld(n, 0, s.Seed, func(c *core.Config) {
 			c.WalkDurationFactor = factor
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		clusters := w.Clusters()
 		index := make(map[int]int, len(clusters))
@@ -218,7 +239,7 @@ func E7WalkUniformity(s Scale) (*Table, error) {
 		for i := 0; i < s.Walks; i++ {
 			out, err := w.Walker().Biased(w.Ledger(), w.Rng(), start)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if j, ok := index[int(out.End)]; ok {
 				counts[j]++
@@ -233,10 +254,13 @@ func E7WalkUniformity(s Scale) (*Table, error) {
 			}
 			uniform[i] = 1
 		}
-		t.AddRow(factor, n, s.Walks,
+		frag.AddRow(factor, n, s.Walks,
 			metrics.TVDistance(counts, sizes),
 			metrics.TVDistance(perNode, uniform),
 			hops.Mean())
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"all walks start at one fixed cluster; TV falls to the sampling-noise floor (~0.5*sqrt(#C/walks)) once the duration passes the mixing time and plateaus after",

@@ -25,36 +25,40 @@ func E1HonestyUnderChurn(s Scale) (*Table, error) {
 		Columns: []string{"N", "tau", "steps", "maxByzFrac", "degradedEvents",
 			"capturedEvents", "degradedStep%", "capturedStep%"},
 	}
-	for _, n := range s.Ns {
-		for _, tau := range []float64{0.10, 0.20, 0.30} {
-			cfg := sim.Config{
-				Core:        core.DefaultConfig(n),
-				InitialSize: n / 2,
-				Tau:         tau,
-				Steps:       int(s.OpsFactor * float64(n)),
-				Seed:        s.Seed,
-			}
-			cfg.Core.Seed = s.Seed
-			// "k large enough" regime: the smallest tolerated cluster is
-			// K*log2(N)/L; K=4, L=1.6 pushes Lemma 1's tail below the
-			// re-roll budget at tau <= 0.2 even for the smallest N here.
-			cfg.Core.K = 4
-			cfg.Core.L = 1.6
-			runner, err := sim.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			res, err := runner.Run()
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(n, tau, res.Steps,
-				res.Stats.MaxByzFractionEver,
-				res.Stats.DegradedEvents,
-				res.Stats.CapturedEvents,
-				100*float64(res.DegradedSteps)/float64(res.Steps),
-				100*float64(res.CapturedSteps)/float64(res.Steps))
+	taus := []float64{0.10, 0.20, 0.30}
+	cells := gridCells(s.Ns, taus)
+	if err := t.RunCells(len(cells), func(i int, frag *Table) error {
+		n, tau := cells[i].a, cells[i].b
+		cfg := sim.Config{
+			Core:        core.DefaultConfig(n),
+			InitialSize: n / 2,
+			Tau:         tau,
+			Steps:       int(s.OpsFactor * float64(n)),
+			Seed:        s.Seed,
 		}
+		cfg.Core.Seed = s.Seed
+		// "k large enough" regime: the smallest tolerated cluster is
+		// K*log2(N)/L; K=4, L=1.6 pushes Lemma 1's tail below the
+		// re-roll budget at tau <= 0.2 even for the smallest N here.
+		cfg.Core.K = 4
+		cfg.Core.L = 1.6
+		runner, err := sim.New(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := runner.Run()
+		if err != nil {
+			return err
+		}
+		frag.AddRow(n, tau, res.Steps,
+			res.Stats.MaxByzFractionEver,
+			res.Stats.DegradedEvents,
+			res.Stats.CapturedEvents,
+			100*float64(res.DegradedSteps)/float64(res.Steps),
+			100*float64(res.CapturedSteps)/float64(res.Steps))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"run at K=4, L=1.6 (the theorem's 'k large enough'); expect a gradient: clean at tau=0.1, marginal at 0.2, failing at 0.3 where the 1/3-eps margin is gone",
@@ -77,17 +81,19 @@ func E2PostExchangeTail(s Scale) (*Table, error) {
 			"P(frac>tau(1+eps))", "chernoffBound"},
 	}
 	n := s.Ns[len(s.Ns)-1]
-	for _, k := range []float64{1, 2, 3, 4} {
+	ks := []float64{1, 2, 3, 4}
+	if err := t.RunCells(len(ks), func(i int, frag *Table) error {
+		k := ks[i]
 		cfg := core.DefaultConfig(n)
 		cfg.K = k
 		cfg.Seed = s.Seed
 		w, err := core.NewWorld(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		byzBudget := int(tau * float64(n/2))
 		if err := w.Bootstrap(n/2, func(slot int) bool { return slot < byzBudget }); err != nil {
-			return nil, err
+			return err
 		}
 		clusters := w.Clusters()
 		target := clusters[0]
@@ -96,7 +102,7 @@ func E2PostExchangeTail(s Scale) (*Table, error) {
 		exceed := 0
 		for i := 0; i < trials; i++ {
 			if err := w.ForceExchange(target); err != nil {
-				return nil, err
+				return err
 			}
 			frac := float64(w.Byz(target)) / float64(w.Size(target))
 			mean.Add(frac)
@@ -106,8 +112,11 @@ func E2PostExchangeTail(s Scale) (*Table, error) {
 		}
 		size := w.Size(target)
 		bound := math.Exp(-eps * eps * tau * float64(size) / 3)
-		t.AddRow(n, k, size, trials, mean.Mean(),
+		frag.AddRow(n, k, size, trials, mean.Mean(),
 			float64(exceed)/float64(trials), bound)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"the empirical tail must decay with K (cluster size) and stay below the bound; eps=0.5 keeps the Chernoff expression non-vacuous at laptop-scale cluster sizes",
@@ -127,41 +136,76 @@ func E3DriftRecovery(s Scale) (*Table, error) {
 		Columns: []string{"N", "p0", "trials", "meanRecovery(exch)",
 			"p95Recovery", "logN", "maxFracSeen"},
 	}
+	// Fan out at per-trial granularity: every trial builds its own world
+	// from a trial-derived seed, so trials of one (N, p0) cell run
+	// concurrently; results are folded back in trial order.
+	p0s := []float64{0.30, 0.40}
+	type trialCell struct {
+		n     int
+		p0    float64
+		trial int
+	}
+	type trialOut struct {
+		steps   float64
+		maxSeen float64
+	}
+	var cells []trialCell
 	for _, n := range s.Ns {
-		for _, p0 := range []float64{0.30, 0.40} {
+		for _, p0 := range p0s {
+			for trial := 0; trial < s.Trials; trial++ {
+				cells = append(cells, trialCell{n, p0, trial})
+			}
+		}
+	}
+	outs, err := mapCells(len(cells), func(i int) (trialOut, error) {
+		c := cells[i]
+		cfg := core.DefaultConfig(c.n)
+		cfg.Seed = s.Seed + uint64(c.trial)
+		w, err := core.NewWorld(cfg)
+		if err != nil {
+			return trialOut{}, err
+		}
+		byzBudget := int(tau * float64(c.n/2))
+		if err := w.Bootstrap(c.n/2, func(slot int) bool { return slot < byzBudget }); err != nil {
+			return trialOut{}, err
+		}
+		target := w.Clusters()[0]
+		if err := pollute(w, target, c.p0); err != nil {
+			return trialOut{}, err
+		}
+		goal := tau * (1 + 0.5*0.5) // tau(1+eps/2) with eps=0.5
+		steps := 0
+		limit := 40 * int(math.Log2(float64(c.n)))
+		maxSeen := 0.0
+		for ; steps < limit; steps++ {
+			frac := float64(w.Byz(target)) / float64(w.Size(target))
+			if frac > maxSeen {
+				maxSeen = frac
+			}
+			if frac <= goal {
+				break
+			}
+			if err := w.ForceExchange(target); err != nil {
+				return trialOut{}, err
+			}
+		}
+		return trialOut{steps: float64(steps), maxSeen: maxSeen}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	next := 0
+	for _, n := range s.Ns {
+		for _, p0 := range p0s {
 			var rec metrics.Sample
 			maxSeen := 0.0
 			for trial := 0; trial < s.Trials; trial++ {
-				cfg := core.DefaultConfig(n)
-				cfg.Seed = s.Seed + uint64(trial)
-				w, err := core.NewWorld(cfg)
-				if err != nil {
-					return nil, err
+				out := outs[next]
+				next++
+				rec.Add(out.steps)
+				if out.maxSeen > maxSeen {
+					maxSeen = out.maxSeen
 				}
-				byzBudget := int(tau * float64(n/2))
-				if err := w.Bootstrap(n/2, func(slot int) bool { return slot < byzBudget }); err != nil {
-					return nil, err
-				}
-				target := w.Clusters()[0]
-				if err := pollute(w, target, p0); err != nil {
-					return nil, err
-				}
-				goal := tau * (1 + 0.5*0.5) // tau(1+eps/2) with eps=0.5
-				steps := 0
-				limit := 40 * int(math.Log2(float64(n)))
-				for ; steps < limit; steps++ {
-					frac := float64(w.Byz(target)) / float64(w.Size(target))
-					if frac > maxSeen {
-						maxSeen = frac
-					}
-					if frac <= goal {
-						break
-					}
-					if err := w.ForceExchange(target); err != nil {
-						return nil, err
-					}
-				}
-				rec.Add(float64(steps))
 			}
 			t.AddRow(n, p0, rec.N(), rec.Mean(), rec.Quantile(0.95),
 				math.Log2(float64(n)), maxSeen)

@@ -24,7 +24,10 @@ func E8OverlayHealth(s Scale) (*Table, error) {
 		Columns: []string{"N", "phase", "clusters", "minDeg", "maxDeg", "degCap",
 			"spectralGap", "isoEstimate", "connected"},
 	}
-	for _, n := range s.Ns {
+	// One cell per N; each cell emits its three phase rows into a private
+	// fragment so the grown/shrunk rows stay adjacent to their bootstrap.
+	if err := t.RunCells(len(s.Ns), func(i int, frag *Table) error {
+		n := s.Ns[i]
 		cfg := sim.Config{
 			Core:        core.DefaultConfig(n),
 			InitialSize: maxInt(2*core.DefaultConfig(n).TargetClusterSize()*2, int(4*math.Sqrt(float64(n)))),
@@ -35,23 +38,26 @@ func E8OverlayHealth(s Scale) (*Table, error) {
 		grow := int(s.OpsFactor * float64(n) / 2)
 		runner, err := sim.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		record := func(phase string) {
 			h := runner.World().OverlayHealth(60, 40)
-			t.AddRow(n, phase, h.Vertices, h.MinDegree, h.MaxDegree,
+			frag.AddRow(n, phase, h.Vertices, h.MinDegree, h.MaxDegree,
 				cfg.Core.DegreeCap(), h.SpectralGap, h.IsoEstimate, h.Connected)
 		}
 		record("bootstrap")
 		// Grow toward N, then shrink back — the sqrt(N) <-> N regime.
 		if _, err := runner.Continue(workload.Linear{From: cfg.InitialSize, To: n, Steps: grow}, grow); err != nil {
-			return nil, err
+			return err
 		}
 		record("grown")
 		if _, err := runner.Continue(workload.Linear{From: runner.World().NumNodes(), To: cfg.InitialSize, Steps: grow}, grow); err != nil {
-			return nil, err
+			return err
 		}
 		record("shrunk")
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"the degree cap column is the configured Property-2 bound c*log^{1+a}N; maxDeg must stay at or below it",
@@ -78,8 +84,10 @@ func E9InitCost(s Scale) (*Table, error) {
 		Columns: []string{"n", "edges", "discoveryMsgs", "n*e bound", "rounds",
 			"complete", "clusterizationMsgs"},
 	}
-	var xs, discY []float64
-	for _, n := range s.Ns {
+	xs := make([]float64, len(s.Ns))
+	discY := make([]float64, len(s.Ns))
+	if err := t.RunCells(len(s.Ns), func(i int, frag *Table) error {
+		n := s.Ns[i]
 		// Initial graph per the model: honest connected (a random
 		// expander), every Byzantine node adjacent to an honest one.
 		g := graph.New[ids.NodeID]()
@@ -92,24 +100,27 @@ func E9InitCost(s Scale) (*Table, error) {
 		r := xrand.New(s.Seed ^ 0xE9)
 		honestCount := n - n/5 // tau = 0.2
 		if err := graph.RandomRegularish(g, r, vs[:honestCount], 4); err != nil {
-			return nil, err
+			return err
 		}
 		for i := honestCount; i < n; i++ {
 			if err := g.AddEdge(vs[i], vs[r.Intn(honestCount)]); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		var led metrics.Ledger
 		rep, err := discovery.Run(&led, g, func(x ids.NodeID) bool { return int(x) < honestCount })
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fn := float64(n)
 		clusterization := int64(fn * math.Sqrt(fn) * math.Log2(fn))
-		t.AddRow(n, rep.Edges, rep.Messages, int64(rep.Nodes)*int64(rep.Edges),
+		frag.AddRow(n, rep.Edges, rep.Messages, int64(rep.Nodes)*int64(rep.Edges),
 			rep.Rounds, rep.Complete, clusterization)
-		xs = append(xs, fn)
-		discY = append(discY, float64(rep.Messages))
+		xs[i] = fn
+		discY[i] = float64(rep.Messages)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	if len(xs) >= 2 {
 		fit := metrics.FitPowerLaw(xs, discY)

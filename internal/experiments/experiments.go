@@ -5,6 +5,12 @@
 // table. The per-experiment index lives in DESIGN.md; EXPERIMENTS.md
 // records claim-vs-measured for each. cmd/nowbench and the root
 // bench_test.go both drive this package.
+//
+// Experiments fan their independent cells (per-size, per-trial,
+// per-repetition simulation runs) out across a worker pool (pool.go);
+// every cell builds its own world from a derived seed and rows are
+// assembled in submission order, so tables are byte-identical at any
+// parallelism setting (SetParallelism / NOWBENCH_PARALLEL).
 package experiments
 
 import (

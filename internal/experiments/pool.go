@@ -1,0 +1,209 @@
+package experiments
+
+// The parallel experiment runner: a shared worker-pool layer that fans
+// independent simulation cells (per-size, per-trial, per-repetition units
+// of an experiment) out across GOMAXPROCS goroutines and aggregates the
+// results deterministically in submission order.
+//
+// Determinism contract: every cell is self-contained — it builds its own
+// world from a per-cell derived seed and never shares a *xrand.Rand or
+// *core.World with another cell. Results land in an index-addressed slot,
+// so the assembled table is byte-identical to a serial run regardless of
+// goroutine scheduling. The parallelism knob (SetParallelism or
+// NOWBENCH_PARALLEL) only changes wall-clock, never output.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelismOverride holds an explicit SetParallelism value; 0 means
+// "unset, resolve from the environment".
+var parallelismOverride atomic.Int32
+
+// SetParallelism fixes the worker count for subsequent experiment runs.
+// p == 1 forces the serial path; p > 1 uses exactly p workers; p <= 0
+// restores the default resolution (NOWBENCH_PARALLEL, then GOMAXPROCS).
+func SetParallelism(p int) {
+	if p < 0 {
+		p = 0
+	}
+	parallelismOverride.Store(int32(p))
+}
+
+// Parallelism reports the worker count the pool will use: an explicit
+// SetParallelism value if one is set, else the NOWBENCH_PARALLEL
+// environment variable ("0", "off", "false" or "no" force serial; a
+// positive integer sets the count), else GOMAXPROCS. Parallel execution
+// is the default: independent seeded cells scale with cores.
+func Parallelism() int {
+	if p := parallelismOverride.Load(); p > 0 {
+		return int(p)
+	}
+	if v, ok := parseParallelEnv(os.Getenv("NOWBENCH_PARALLEL")); ok {
+		return v
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parseParallelEnv interprets a NOWBENCH_PARALLEL value; ok is false when
+// the value is empty or unrecognized (caller falls back to GOMAXPROCS).
+func parseParallelEnv(v string) (workers int, ok bool) {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "":
+		return 0, false
+	case "0", "off", "false", "no":
+		return 1, true
+	case "on", "true", "yes", "auto":
+		return runtime.GOMAXPROCS(0), true
+	}
+	if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && n > 0 {
+		return n, true
+	}
+	return 0, false
+}
+
+// mapCells runs body(i) for every cell index in [0, count), in parallel
+// when the pool has more than one worker, and returns the results in
+// submission (index) order. On failure the lowest-indexed failing cell's
+// error is returned — the same error a serial run reports: after a
+// failure only cells above the lowest failing index seen so far are
+// skipped, so any earlier failure still gets a chance to surface. A
+// panicking cell is converted into an error rather than tearing down
+// sibling workers mid-experiment.
+func mapCells[T any](count int, body func(i int) (T, error)) ([]T, error) {
+	out := make([]T, count)
+	if count == 0 {
+		return out, nil
+	}
+	workers := Parallelism()
+	if workers > count {
+		workers = count
+	}
+	run := func(i int) (v T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("experiments: cell %d panicked: %v", i, r)
+			}
+		}()
+		return body(i)
+	}
+	if workers <= 1 {
+		for i := 0; i < count; i++ {
+			v, err := run(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, count)
+	idx := make(chan int)
+	var minFailed atomic.Int64
+	minFailed.Store(int64(count)) // sentinel: nothing failed yet
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if int64(i) > minFailed.Load() {
+					continue // fail fast, but never skip a cell serial would have run
+				}
+				v, err := run(i)
+				if err != nil {
+					errs[i] = err
+					for {
+						cur := minFailed.Load()
+						if int64(i) >= cur || minFailed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	for i := 0; i < count; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ForEach runs body(i) for every index in [0, count) on the worker pool.
+// It is the result-free form of mapCells for callers (cmd/nowsim's
+// multi-run mode, external drivers) that collect output through their own
+// index-addressed storage.
+func ForEach(count int, body func(i int) error) error {
+	_, err := mapCells(count, func(i int) (struct{}, error) {
+		return struct{}{}, body(i)
+	})
+	return err
+}
+
+// pair is one point of a two-parameter sweep grid.
+type pair[A, B any] struct {
+	a A
+	b B
+}
+
+// gridCells flattens a row-major (as x bs) sweep into a cell list, so a
+// nested loop can fan out as one batch while keeping its serial row
+// order.
+func gridCells[A, B any](as []A, bs []B) []pair[A, B] {
+	out := make([]pair[A, B], 0, len(as)*len(bs))
+	for _, a := range as {
+		for _, b := range bs {
+			out = append(out, pair[A, B]{a, b})
+		}
+	}
+	return out
+}
+
+// Fragment returns an empty table sharing t's identity and columns, for
+// one parallel cell to fill independently of its siblings.
+func (t *Table) Fragment() *Table {
+	return &Table{ID: t.ID, Title: t.Title, Claim: t.Claim, Columns: t.Columns}
+}
+
+// Splice appends a fragment's rows and notes onto t.
+func (t *Table) Splice(frag *Table) {
+	t.Rows = append(t.Rows, frag.Rows...)
+	t.Notes = append(t.Notes, frag.Notes...)
+}
+
+// RunCells executes body for each cell on the worker pool, handing every
+// cell a private table fragment, then splices the fragments into t in
+// submission order. Experiment-level notes computed from cross-cell
+// aggregates belong after RunCells returns; per-cell aux values should be
+// written to caller-owned index-addressed slices inside body.
+func (t *Table) RunCells(count int, body func(i int, frag *Table) error) error {
+	frags, err := mapCells(count, func(i int) (*Table, error) {
+		frag := t.Fragment()
+		if err := body(i, frag); err != nil {
+			return nil, err
+		}
+		return frag, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, frag := range frags {
+		t.Splice(frag)
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelMatchesSerial is the determinism regression test for the
+// worker-pool runner: a fast subset of E1-E12 (covering every cell shape
+// — grid sweeps, per-trial folds, multi-row fragments, heterogeneous
+// sections) must produce byte-identical tables serially and with many
+// workers racing on the pool.
+func TestParallelMatchesSerial(t *testing.T) {
+	defer SetParallelism(0)
+	s := Scale{
+		Ns:        []int{256, 512},
+		OpsFactor: 0.25,
+		Trials:    2,
+		Walks:     40,
+		Seed:      7,
+	}
+	subset := []string{"E1", "E2", "E3", "E8", "E9", "E11", "A1"}
+	reg := Registry()
+	for _, id := range subset {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			SetParallelism(1)
+			serial, err := reg[id](s)
+			if err != nil {
+				t.Fatalf("serial run failed: %v", err)
+			}
+			SetParallelism(8)
+			parallel, err := reg[id](s)
+			if err != nil {
+				t.Fatalf("parallel run failed: %v", err)
+			}
+			if !reflect.DeepEqual(serial.Rows, parallel.Rows) {
+				t.Errorf("rows diverge between serial and parallel runs:\nserial:   %v\nparallel: %v",
+					serial.Rows, parallel.Rows)
+			}
+			if !reflect.DeepEqual(serial.Notes, parallel.Notes) {
+				t.Errorf("notes diverge:\nserial:   %v\nparallel: %v", serial.Notes, parallel.Notes)
+			}
+			var sb, pb bytes.Buffer
+			if err := serial.Render(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if err := parallel.Render(&pb); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+				t.Errorf("rendered tables not byte-identical:\n--- serial ---\n%s--- parallel ---\n%s",
+					sb.String(), pb.String())
+			}
+		})
+	}
+}
+
+func TestMapCellsOrdering(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(8)
+	const count = 100
+	out, err := mapCells(count, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != count {
+		t.Fatalf("got %d results, want %d", len(out), count)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("slot %d holds %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapCellsError(t *testing.T) {
+	defer SetParallelism(0)
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		SetParallelism(workers)
+		_, err := mapCells(10, func(i int) (int, error) {
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: got %v, want the cell error", workers, err)
+		}
+	}
+}
+
+// TestMapCellsErrorDeterministic pins the error-path contract: with
+// several failing cells, the lowest-indexed failure is reported at any
+// parallelism — the same error a serial run returns.
+func TestMapCellsErrorDeterministic(t *testing.T) {
+	defer SetParallelism(0)
+	for _, workers := range []int{1, 8} {
+		SetParallelism(workers)
+		for rep := 0; rep < 20; rep++ {
+			_, err := mapCells(32, func(i int) (int, error) {
+				if i == 5 || i == 20 || i == 31 {
+					return 0, fmt.Errorf("cell %d failed", i)
+				}
+				return i, nil
+			})
+			if err == nil || err.Error() != "cell 5 failed" {
+				t.Fatalf("workers=%d rep=%d: got %v, want the lowest-indexed failure", workers, rep, err)
+			}
+		}
+	}
+}
+
+func TestMapCellsPanicBecomesError(t *testing.T) {
+	defer SetParallelism(0)
+	for _, workers := range []int{1, 8} {
+		SetParallelism(workers)
+		_, err := mapCells(4, func(i int) (int, error) {
+			if i == 2 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic was not converted to an error", workers)
+		}
+	}
+}
+
+func TestMapCellsEmpty(t *testing.T) {
+	out, err := mapCells(0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: out=%v err=%v", out, err)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(4)
+	const count = 50
+	var hits [count]int32
+	if err := ForEach(count, func(i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Errorf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestParallelismKnob(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Errorf("SetParallelism(3) -> Parallelism() = %d", got)
+	}
+	SetParallelism(1)
+	if got := Parallelism(); got != 1 {
+		t.Errorf("SetParallelism(1) -> Parallelism() = %d", got)
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got < 1 {
+		t.Errorf("default Parallelism() = %d, want >= 1", got)
+	}
+}
+
+func TestParseParallelEnv(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		workers int
+		ok      bool
+	}{
+		{"", 0, false},
+		{"garbage", 0, false},
+		{"-2", 0, false},
+		{"0", 1, true},
+		{"off", 1, true},
+		{"false", 1, true},
+		{"no", 1, true},
+		{"4", 4, true},
+		{" 6 ", 6, true},
+	} {
+		workers, ok := parseParallelEnv(tc.in)
+		if ok != tc.ok || (ok && workers != tc.workers) {
+			t.Errorf("parseParallelEnv(%q) = (%d, %v), want (%d, %v)",
+				tc.in, workers, ok, tc.workers, tc.ok)
+		}
+	}
+	// "on"-style values resolve to GOMAXPROCS: just require >= 1.
+	for _, v := range []string{"on", "true", "yes", "auto"} {
+		workers, ok := parseParallelEnv(v)
+		if !ok || workers < 1 {
+			t.Errorf("parseParallelEnv(%q) = (%d, %v), want enabled", v, workers, ok)
+		}
+	}
+}
+
+func TestGridCells(t *testing.T) {
+	cells := gridCells([]int{1, 2}, []string{"a", "b", "c"})
+	want := []pair[int, string]{{1, "a"}, {1, "b"}, {1, "c"}, {2, "a"}, {2, "b"}, {2, "c"}}
+	if !reflect.DeepEqual(cells, want) {
+		t.Errorf("gridCells = %v, want %v", cells, want)
+	}
+}
+
+func TestFragmentSplice(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "t", Claim: "c", Columns: []string{"a", "b"}}
+	frag := tbl.Fragment()
+	if frag.ID != tbl.ID || len(frag.Rows) != 0 {
+		t.Fatalf("fragment not empty: %+v", frag)
+	}
+	frag.AddRow(1, 2)
+	frag.Notes = append(frag.Notes, "n1")
+	tbl.Splice(frag)
+	if len(tbl.Rows) != 1 || len(tbl.Notes) != 1 {
+		t.Errorf("splice lost data: rows=%d notes=%d", len(tbl.Rows), len(tbl.Notes))
+	}
+	if fmt.Sprint(tbl.Rows[0]) != "[1 2]" {
+		t.Errorf("row content %v", tbl.Rows[0])
+	}
+}

@@ -8,6 +8,9 @@ import (
 )
 
 func TestFlashCrowdSurvives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flash-crowd sweep skipped in -short mode")
+	}
 	// A join storm doubling the network inside a window, then mass
 	// departure back to base — splits on the way up, merges on the way
 	// down, invariants throughout.

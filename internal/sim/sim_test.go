@@ -94,6 +94,9 @@ func TestGrowthRun(t *testing.T) {
 }
 
 func TestShrinkRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrink sweep skipped in -short mode")
+	}
 	cfg := baseConfig()
 	cfg.InitialSize = 600
 	cfg.Schedule = workload.Linear{From: 600, To: 300, Steps: 350}
@@ -161,6 +164,9 @@ func TestDOSAttackRuns(t *testing.T) {
 }
 
 func TestRejoinAllStrategyDrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rejoin-all drain sweep skipped in -short mode")
+	}
 	cfg := baseConfig()
 	cfg.Core.MergeStrategy = core.MergeRejoinAll
 	cfg.InitialSize = 500
@@ -206,6 +212,9 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestOscillationSurvives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oscillation sweep skipped in -short mode")
+	}
 	// One op per time step bounds the achievable slope at 1 node/step, so
 	// the triangle wave must stay within that: amplitude 100 per
 	// half-period of 200 steps.

@@ -145,6 +145,24 @@ func Experiments() map[string]func(ExperimentScale) (*ExperimentTable, error) {
 // ExperimentIDs returns the registry keys in canonical order.
 func ExperimentIDs() []string { return experiments.IDs() }
 
+// SetParallelism fixes the experiment worker-pool size: 1 forces serial
+// execution, p > 1 uses exactly p workers, p <= 0 restores the default
+// (NOWBENCH_PARALLEL, then GOMAXPROCS). Output tables are byte-identical
+// at any setting; only wall-clock changes.
+func SetParallelism(p int) { experiments.SetParallelism(p) }
+
+// Parallelism reports the experiment worker-pool size currently in
+// effect.
+func Parallelism() int { return experiments.Parallelism() }
+
+// ForEachRun fans count independent runs across the experiment worker
+// pool (body receives the run index). Callers must make each run
+// self-contained — own world, own seed — and collect results into
+// index-addressed storage.
+func ForEachRun(count int, body func(i int) error) error {
+	return experiments.ForEach(count, body)
+}
+
 // QuickScale is the CI-sized experiment scale.
 func QuickScale() ExperimentScale { return experiments.QuickScale() }
 
