@@ -17,6 +17,8 @@ import (
 	"testing"
 
 	"nowover"
+	"nowover/internal/core"
+	"nowover/internal/xrand"
 )
 
 // benchScale sizes experiment benchmarks: smaller than QuickScale so the
@@ -273,5 +275,92 @@ func BenchmarkSimulationStep(b *testing.B) {
 	b.ResetTimer()
 	if _, err := runner.Continue(nil, b.N); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkShardedWorldBatch measures the op scheduler's throughput on ONE
+// world at increasing shard counts: every iteration executes a 16-op batch
+// of interleaved joins and leaves (steady population) through ExecBatch.
+// At shards-1 the scheduler runs fully serially; higher shard counts admit
+// operations with disjoint write footprints for concurrent planning and
+// apply, so the serial-vs-sharded delta on a multi-core runner is the
+// intra-world speedup (a 1-core runner shows only the coordination
+// overhead, which is also worth recording). Results are identical at
+// every shard count; only wall-clock changes.
+//
+// Two write-density regimes are measured, because admission is bounded by
+// how many clusters one operation mutates:
+//
+//   - "full": paper-faithful shuffling (exchange on join/leave plus the
+//     leave cascade). Each op writes ~|C| clusters, |C|^2 with the
+//     cascade, so at simulation scales most batches serialize on the tail
+//     and the %deferred metric stays high. Footprints shrink relative to
+//     the overlay as n grows: write disjointness needs #clusters >>
+//     (K log n)^2, i.e. the production regime (n ~ 10^6) the ROADMAP
+//     targets.
+//   - "lean": the shuffle-less ablation (no exchanges). Ops write only
+//     their target cluster, batches admit almost fully, and the benchmark
+//     isolates the scheduler's own scalability from the protocol's write
+//     density.
+func BenchmarkShardedWorldBatch(b *testing.B) {
+	if testing.Short() {
+		b.Skip("sharded world benchmark skipped in -short mode")
+	}
+	for _, density := range []string{"full", "lean"} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards-%d", density, shards), func(b *testing.B) {
+				cfg := nowover.DefaultConfig(1 << 12)
+				cfg.Seed = 1
+				cfg.Shards = shards
+				if density == "lean" {
+					cfg.ExchangeOnJoin = false
+					cfg.ExchangeOnLeave = false
+					cfg.LeaveCascade = false
+				}
+				sys, err := nowover.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Bootstrap(1024, nowover.FractionCorrupt(1024, 0.15)); err != nil {
+					b.Fatal(err)
+				}
+				w := sys.World()
+				r := xrand.New(7)
+				const batchSize = 16
+				deferred := 0
+				total := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ops := make([]nowover.WorldOp, 0, batchSize)
+					used := make(map[nowover.NodeID]bool, batchSize/2)
+					for len(ops) < batchSize {
+						if len(ops)%2 == 0 {
+							ops = append(ops, nowover.WorldOp{Kind: nowover.WorldOpJoin, Byz: r.Bool(0.15)})
+							continue
+						}
+						x, ok := w.RandomNode(r)
+						if !ok || used[x] {
+							continue
+						}
+						used[x] = true
+						ops = append(ops, nowover.WorldOp{Kind: nowover.WorldOpLeave, Victim: x})
+					}
+					for _, rr := range sys.ExecBatch(ops) {
+						total++
+						if rr.Deferred {
+							deferred++
+						}
+						if rr.Err != nil && !core.IsUnknownNode(rr.Err) {
+							b.Fatal(rr.Err)
+						}
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(batchSize), "ops/batch")
+				if total > 0 {
+					b.ReportMetric(100*float64(deferred)/float64(total), "%deferred")
+				}
+			})
+		}
 	}
 }

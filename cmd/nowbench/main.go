@@ -40,11 +40,13 @@ func run() error {
 		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		parallel = flag.Int("parallel", 0, "experiment worker count: 1 = serial, 0 = auto (NOWBENCH_PARALLEL, then GOMAXPROCS)")
+		shards   = flag.Int("world-shards", 1, "lockable state segments per experiment world (tables are byte-identical at any value; the harness drives ops serially, so this exercises the sharded layout rather than speeding tables up)")
 	)
 	flag.Parse()
 
 	nowover.SetParallelism(*parallel)
-	fmt.Printf("nowbench: %d worker(s)\n\n", nowover.Parallelism())
+	nowover.SetWorldShards(*shards)
+	fmt.Printf("nowbench: %d worker(s), %d world shard(s)\n\n", nowover.Parallelism(), nowover.WorldShards())
 
 	scale := nowover.QuickScale()
 	if *full {

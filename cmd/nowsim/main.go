@@ -33,19 +33,21 @@ func main() {
 
 func run() error {
 	var (
-		maxN      = flag.Int("N", 4096, "name-space bound N (max network size)")
-		n0        = flag.Int("n0", 0, "initial size (default N/4)")
-		tau       = flag.Float64("tau", 0.20, "adversary corruption budget (fraction)")
-		steps     = flag.Int("steps", 2000, "time steps to simulate")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		k         = flag.Float64("k", 2, "cluster size security parameter K")
-		schedule  = flag.String("schedule", "steady", "size schedule: steady | grow | shrink | oscillate | flash")
-		attack    = flag.String("attack", "none", "adversary strategy: none | joinleave | dos")
-		noShuffle = flag.Bool("noshuffle", false, "ablation: disable all shuffling (exchange on join/leave, cascades)")
-		merge     = flag.String("merge", "absorb", "merge strategy: absorb | rejoin")
-		every     = flag.Int("report", 0, "print an audit every k steps (default steps/10)")
-		runs      = flag.Int("runs", 1, "independent replicas to run (seeds seed..seed+runs-1)")
-		parallel  = flag.Int("parallel", 0, "worker count for -runs: 1 = serial, 0 = auto (NOWBENCH_PARALLEL, then GOMAXPROCS)")
+		maxN       = flag.Int("N", 4096, "name-space bound N (max network size)")
+		n0         = flag.Int("n0", 0, "initial size (default N/4)")
+		tau        = flag.Float64("tau", 0.20, "adversary corruption budget (fraction)")
+		steps      = flag.Int("steps", 2000, "time steps to simulate")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		k          = flag.Float64("k", 2, "cluster size security parameter K")
+		schedule   = flag.String("schedule", "steady", "size schedule: steady | grow | shrink | oscillate | flash")
+		attack     = flag.String("attack", "none", "adversary strategy: none | joinleave | dos")
+		noShuffle  = flag.Bool("noshuffle", false, "ablation: disable all shuffling (exchange on join/leave, cascades)")
+		merge      = flag.String("merge", "absorb", "merge strategy: absorb | rejoin")
+		every      = flag.Int("report", 0, "print an audit every k steps (default steps/10)")
+		runs       = flag.Int("runs", 1, "independent replicas to run (seeds seed..seed+runs-1)")
+		parallel   = flag.Int("parallel", 0, "worker count for -runs: 1 = serial, 0 = auto (NOWBENCH_PARALLEL, then GOMAXPROCS)")
+		shards     = flag.Int("world-shards", 1, "lockable world-state segments: 1 = serial layout, n > 1 enables intra-world concurrency (results identical at any value)")
+		opsPerStep = flag.Int("ops-per-step", 1, "operations per time step: > 1 batches them through the concurrent op scheduler (incompatible with -attack hijacking)")
 	)
 	flag.Parse()
 
@@ -82,6 +84,8 @@ func run() error {
 		}
 		cfg.Core.Seed = runSeed
 		cfg.Core.K = *k
+		cfg.Core.Shards = *shards
+		cfg.OpsPerStep = *opsPerStep
 		if *noShuffle {
 			cfg.Core.ExchangeOnJoin = false
 			cfg.Core.ExchangeOnLeave = false
@@ -133,8 +137,8 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("nowsim: N=%d n0=%d tau=%.2f K=%.1f steps=%d schedule=%s attack=%s shuffle=%v merge=%s\n",
-		*maxN, *n0, *tau, *k, *steps, *schedule, *attack, !*noShuffle, *merge)
+	fmt.Printf("nowsim: N=%d n0=%d tau=%.2f K=%.1f steps=%d schedule=%s attack=%s shuffle=%v merge=%s shards=%d ops/step=%d\n",
+		*maxN, *n0, *tau, *k, *steps, *schedule, *attack, !*noShuffle, *merge, *shards, *opsPerStep)
 	fmt.Printf("cluster size target %d (split >%d, merge <%d), overlay degree target %d (cap %d)\n\n",
 		refCfg.Core.TargetClusterSize(), refCfg.Core.SplitThreshold(), refCfg.Core.MergeThreshold(),
 		refCfg.Core.TargetDegree(), refCfg.Core.DegreeCap())
@@ -160,6 +164,10 @@ func run() error {
 		res.Stats.HijackedWalks)
 	fmt.Printf("degraded steps: %d/%d  captured steps: %d/%d\n",
 		res.DegradedSteps, res.Steps, res.CapturedSteps, res.Steps)
+	if res.BatchedOps > 0 {
+		fmt.Printf("scheduler: %d batched ops, %d deferred to the serial tail (%d of those skipped: target vanished)\n",
+			res.BatchedOps, res.DeferredOps, res.SkippedOps)
+	}
 	fmt.Printf("size range: [%d, %d]\n", res.TroughSize, res.PeakSize)
 	fmt.Printf("cost: %v\n", res.TotalCost)
 	if res.OpCosts.JoinMsgs.N() > 0 {

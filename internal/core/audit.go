@@ -53,39 +53,42 @@ func (a Audit) String() string {
 // Audit computes the invariant check.
 func (w *World) Audit() Audit {
 	a := Audit{
-		Nodes:    len(w.nodes),
+		Nodes:    len(w.allNodes),
 		Byz:      len(w.byzNodes),
-		Clusters: len(w.clusters),
+		Clusters: w.nClusters,
 		SizeLo:   w.cfg.MergeThreshold(),
 		SizeHi:   w.cfg.SplitThreshold(),
 	}
 	first := true
-	for c, cs := range w.clusters {
-		size := len(cs.members)
-		if first {
-			a.MinSize, a.MaxSize = size, size
-			first = false
-		} else {
-			if size < a.MinSize {
-				a.MinSize = size
+	for _, s := range w.shards {
+		s.mu.RLock()
+		for _, cs := range s.clusters {
+			size := len(cs.members)
+			if first {
+				a.MinSize, a.MaxSize = size, size
+				first = false
+			} else {
+				if size < a.MinSize {
+					a.MinSize = size
+				}
+				if size > a.MaxSize {
+					a.MaxSize = size
+				}
 			}
-			if size > a.MaxSize {
-				a.MaxSize = size
+			if size > 0 {
+				if f := float64(cs.byz) / float64(size); f > a.MaxByzFraction {
+					a.MaxByzFraction = f
+				}
+			}
+			switch randnum.Classify(size, cs.byz) {
+			case randnum.Degraded:
+				a.Degraded++
+			case randnum.Captured:
+				a.Captured++
+				a.Degraded++ // captured clusters are degraded too
 			}
 		}
-		if size > 0 {
-			if f := float64(cs.byz) / float64(size); f > a.MaxByzFraction {
-				a.MaxByzFraction = f
-			}
-		}
-		switch randnum.Classify(size, cs.byz) {
-		case randnum.Degraded:
-			a.Degraded++
-		case randnum.Captured:
-			a.Captured++
-			a.Degraded++ // captured clusters are degraded too
-		}
-		_ = c
+		s.mu.RUnlock()
 	}
 	g := w.overlay.Graph()
 	a.MinDegree = g.MinDegree()
@@ -102,83 +105,105 @@ func (w *World) OverlayHealth(spectralIters, randomCuts int) over.Health {
 }
 
 // CheckConsistency exhaustively cross-checks the world's redundant
-// bookkeeping (membership indexes, Byzantine counts, size multiset,
-// overlay/partition correspondence). Used by tests and the simulator's
-// paranoid mode; returns the first inconsistency found.
+// bookkeeping (membership indexes, Byzantine counts, per-shard size
+// multisets and max trackers, shard placement, overlay/partition
+// correspondence). Used by tests and the simulator's paranoid mode;
+// returns the first inconsistency found.
 func (w *World) CheckConsistency() error {
-	if len(w.allNodes) != len(w.nodes) {
-		return fmt.Errorf("consistency: %d indexed nodes vs %d records", len(w.allNodes), len(w.nodes))
+	nodeRecords := 0
+	for _, ns := range w.nodeShards {
+		nodeRecords += len(ns.nodes)
+	}
+	if len(w.allNodes) != nodeRecords {
+		return fmt.Errorf("consistency: %d indexed nodes vs %d records", len(w.allNodes), nodeRecords)
 	}
 	totalMembers := 0
+	totalClusters := 0
 	maxSize := 0
-	for c, cs := range w.clusters {
-		if !w.overlay.Has(c) {
-			return fmt.Errorf("consistency: cluster %v missing from overlay", c)
-		}
-		byz := 0
-		for i, x := range cs.members {
-			info, ok := w.nodes[x]
-			if !ok {
-				return fmt.Errorf("consistency: member %v of %v unknown", x, c)
+	for si, s := range w.shards {
+		shardMax := 0
+		sizes := make(map[int]int)
+		for c, cs := range s.clusters {
+			if w.shardFor(c) != s {
+				return fmt.Errorf("consistency: cluster %v stored in wrong shard %d", c, si)
 			}
-			if info.cluster != c {
-				return fmt.Errorf("consistency: node %v thinks it is in %v, member list says %v", x, info.cluster, c)
+			if !w.overlay.Has(c) {
+				return fmt.Errorf("consistency: cluster %v missing from overlay", c)
 			}
-			if cs.pos[x] != i {
-				return fmt.Errorf("consistency: position index broken for %v in %v", x, c)
+			byz := 0
+			for i, x := range cs.members {
+				info, ok := w.nodeInfoOf(x)
+				if !ok {
+					return fmt.Errorf("consistency: member %v of %v unknown", x, c)
+				}
+				if info.cluster != c {
+					return fmt.Errorf("consistency: node %v thinks it is in %v, member list says %v", x, info.cluster, c)
+				}
+				if cs.pos[x] != i {
+					return fmt.Errorf("consistency: position index broken for %v in %v", x, c)
+				}
+				if info.byz {
+					byz++
+				}
 			}
-			if info.byz {
-				byz++
+			if byz != cs.byz {
+				return fmt.Errorf("consistency: cluster %v byz count %d, actual %d", c, cs.byz, byz)
+			}
+			totalMembers += len(cs.members)
+			totalClusters++
+			if len(cs.members) > shardMax {
+				shardMax = len(cs.members)
+			}
+			if len(cs.members) > 0 {
+				sizes[len(cs.members)]++
 			}
 		}
-		if byz != cs.byz {
-			return fmt.Errorf("consistency: cluster %v byz count %d, actual %d", c, cs.byz, byz)
+		if shardMax != s.maxSize {
+			return fmt.Errorf("consistency: shard %d tracked max size %d, actual %d", si, s.maxSize, shardMax)
 		}
-		totalMembers += len(cs.members)
-		if len(cs.members) > maxSize {
-			maxSize = len(cs.members)
+		if shardMax > maxSize {
+			maxSize = shardMax
 		}
-	}
-	if totalMembers != len(w.nodes) {
-		return fmt.Errorf("consistency: %d members across clusters vs %d nodes", totalMembers, len(w.nodes))
-	}
-	if w.overlay.NumVertices() != len(w.clusters) {
-		return fmt.Errorf("consistency: overlay has %d vertices vs %d clusters", w.overlay.NumVertices(), len(w.clusters))
-	}
-	if maxSize != w.maxSize {
-		return fmt.Errorf("consistency: tracked max size %d, actual %d", w.maxSize, maxSize)
-	}
-	sizes := make(map[int]int)
-	for _, cs := range w.clusters {
-		if len(cs.members) > 0 {
-			sizes[len(cs.members)]++
+		for sz, n := range sizes {
+			if s.sizeCount[sz] != n {
+				return fmt.Errorf("consistency: shard %d size multiset at %d is %d, actual %d", si, sz, s.sizeCount[sz], n)
+			}
+		}
+		for sz, n := range s.sizeCount {
+			if sizes[sz] != n {
+				return fmt.Errorf("consistency: shard %d size multiset extra entry %d=%d", si, sz, n)
+			}
 		}
 	}
-	for s, n := range sizes {
-		if w.sizeCount[s] != n {
-			return fmt.Errorf("consistency: size multiset at %d is %d, actual %d", s, w.sizeCount[s], n)
-		}
+	if totalMembers != nodeRecords {
+		return fmt.Errorf("consistency: %d members across clusters vs %d nodes", totalMembers, nodeRecords)
 	}
-	for s, n := range w.sizeCount {
-		if sizes[s] != n {
-			return fmt.Errorf("consistency: size multiset extra entry %d=%d", s, n)
-		}
+	if totalClusters != w.nClusters {
+		return fmt.Errorf("consistency: cluster counter %d vs %d stored clusters", w.nClusters, totalClusters)
 	}
-	byzTotal := 0
+	if w.overlay.NumVertices() != totalClusters {
+		return fmt.Errorf("consistency: overlay has %d vertices vs %d clusters", w.overlay.NumVertices(), totalClusters)
+	}
+	if maxSize != w.MaxClusterSize() {
+		return fmt.Errorf("consistency: tracked max size %d, actual %d", w.MaxClusterSize(), maxSize)
+	}
 	for _, x := range w.byzNodes {
-		info, ok := w.nodes[x]
+		info, ok := w.nodeInfoOf(x)
 		if !ok || !info.byz {
 			return fmt.Errorf("consistency: byz index entry %v invalid", x)
 		}
-		byzTotal++
 	}
-	for x, info := range w.nodes {
-		if info.byz {
-			if _, ok := w.byzPos[x]; !ok {
-				return fmt.Errorf("consistency: byz node %v missing from index", x)
+	for _, ns := range w.nodeShards {
+		for x, info := range ns.nodes {
+			if _, ok := w.nodePos[x]; !ok {
+				return fmt.Errorf("consistency: node %v missing from flat index", x)
+			}
+			if info.byz {
+				if _, ok := w.byzPos[x]; !ok {
+					return fmt.Errorf("consistency: byz node %v missing from index", x)
+				}
 			}
 		}
 	}
-	_ = byzTotal
 	return nil
 }

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzWorldOps feeds fuzzer-chosen operation scripts through BOTH a
+// serial-layout (Shards=1) and a sharded (Shards=8) world and asserts,
+// after every scheduler batch, that (a) the full invariant layer holds in
+// both and (b) the two worlds are in bit-identical protocol states. The
+// script drives joins, leaves, forced exchanges and allegiance flips;
+// splits, merges and transfers are exercised through the operations that
+// trigger them, including on the scheduler's serial tail.
+//
+// Script encoding (one byte per instruction, wrapping reads for params):
+//
+//	b%6 == 0,1  queue a join (Byzantine iff b&0x40)
+//	b%6 == 2    queue a leave of the (next byte)-indexed node
+//	b%6 == 3    queue an exchange of the (next byte)-indexed cluster
+//	b%6 == 4    flush the queued batch through ExecBatch
+//	b%6 == 5    classic SetCorrupted flip of the (next byte)-indexed node
+func FuzzWorldOps(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 0, 4, 2, 1, 4})
+	f.Add(uint64(7), []byte{0, 2, 0, 3, 5, 4, 2, 2, 2, 3, 4})
+	f.Add(uint64(42), []byte{2, 9, 2, 17, 2, 33, 4, 0, 0, 0, 0, 4, 5, 8, 4})
+	f.Add(uint64(0xC0FFEE), []byte{3, 1, 3, 2, 4, 2, 250, 0, 64, 4, 2, 7, 2, 8, 2, 9, 4})
+	f.Fuzz(func(t *testing.T, seed uint64, script []byte) {
+		if len(script) > 64 {
+			script = script[:64]
+		}
+		mk := func(shards int) *World {
+			cfg := DefaultConfig(256)
+			cfg.Seed = seed
+			cfg.Shards = shards
+			w, err := NewWorld(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Bootstrap(96, func(slot int) bool { return slot%5 == 0 }); err != nil {
+				t.Fatal(err)
+			}
+			return w
+		}
+		w1, w8 := mk(1), mk(8)
+		minPop := 2 * w1.Config().TargetClusterSize()
+
+		var pending []Op
+		victims := make(map[uint64]bool)
+		next := func(i *int) byte {
+			if *i >= len(script) {
+				return 0
+			}
+			b := script[*i]
+			*i++
+			return b
+		}
+		flush := func() {
+			if len(pending) == 0 {
+				return
+			}
+			r1 := w1.ExecBatch(pending)
+			r8 := w8.ExecBatch(pending)
+			for j := range r1 {
+				if r1[j].Err != nil && !IsUnknownNode(r1[j].Err) && !IsUnknownCluster(r1[j].Err) {
+					t.Fatalf("serial op %d: %v", j, r1[j].Err)
+				}
+				if (r1[j].Err == nil) != (r8[j].Err == nil) || r1[j].Node != r8[j].Node || r1[j].Deferred != r8[j].Deferred {
+					t.Fatalf("op %d diverged: serial=%+v sharded=%+v", j, r1[j], r8[j])
+				}
+			}
+			pending = pending[:0]
+			victims = make(map[uint64]bool)
+			if err := CheckInvariants(w1); err != nil {
+				t.Fatalf("serial invariants: %v", err)
+			}
+			if err := CheckInvariants(w8); err != nil {
+				t.Fatalf("sharded invariants: %v", err)
+			}
+			if a, b := worldFingerprint(w1), worldFingerprint(w8); a != b {
+				t.Fatalf("states diverged:\n--- serial ---\n%s\n--- sharded ---\n%s", a, b)
+			}
+		}
+
+		projN := w1.NumNodes()
+		for i := 0; i < len(script); {
+			b := next(&i)
+			switch b % 6 {
+			case 0, 1:
+				if projN >= w1.Config().N-1 || len(pending) >= 8 {
+					continue
+				}
+				pending = append(pending, Op{Kind: OpJoin, Byz: b&0x40 != 0})
+				projN++
+			case 2:
+				if projN <= minPop || len(pending) >= 8 || w1.NumNodes() == 0 {
+					continue
+				}
+				idx := int(next(&i)) % w1.NumNodes()
+				x := w1.allNodes[idx]
+				if victims[uint64(x)] {
+					continue
+				}
+				victims[uint64(x)] = true
+				pending = append(pending, Op{Kind: OpLeave, Victim: x})
+				projN--
+			case 3:
+				cs := w1.Clusters()
+				if len(cs) == 0 || len(pending) >= 8 {
+					continue
+				}
+				c := cs[int(next(&i))%len(cs)]
+				pending = append(pending, Op{Kind: OpExchange, Target: c})
+			case 4:
+				flush()
+			case 5:
+				flush() // classic ops require a quiescent batch queue
+				if w1.NumNodes() == 0 {
+					continue
+				}
+				idx := int(next(&i)) % w1.NumNodes()
+				x := w1.allNodes[idx]
+				corrupted := !w1.IsByzantine(x)
+				// Keep the tau regime: never corrupt past ~1/3.
+				if corrupted && 3*(w1.NumByzantine()+1) > w1.NumNodes() {
+					continue
+				}
+				if err := w1.SetCorrupted(x, corrupted); err != nil {
+					t.Fatal(err)
+				}
+				if err := w8.SetCorrupted(x, corrupted); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		flush()
+	})
+}

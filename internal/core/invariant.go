@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"nowover/internal/ids"
+)
+
+// CheckInvariants asserts the global consistency properties the paper's
+// maintenance operations promise to preserve, on top of the bookkeeping
+// cross-checks of CheckConsistency:
+//
+//   - every node is a member of exactly one cluster, and the membership
+//     union equals the node index (no phantom, duplicated or orphaned
+//     nodes);
+//   - every cluster's position index matches its member list and its
+//     Byzantine counter equals a recount (via CheckConsistency);
+//   - no cluster is empty, none exceeds the split threshold, and — when
+//     more than one cluster exists, so merging was possible — none sits
+//     below the merge threshold;
+//   - the overlay vertex set and the cluster set are identical.
+//
+// It is the reusable oracle for the randomized-op, fuzz and scheduler
+// test layers, valid in both the serial and sharded execution modes: the
+// op scheduler defers every structural operation to its serial tail, so
+// these invariants must hold at every batch boundary exactly as they do
+// after every classic operation.
+func CheckInvariants(w *World) error {
+	if err := w.CheckConsistency(); err != nil {
+		return err
+	}
+
+	// Membership union == node index, each node in exactly one cluster.
+	seen := make(ids.NodeSet, w.NumNodes())
+	lo, hi := w.cfg.MergeThreshold(), w.cfg.SplitThreshold()
+	clusters := ids.NewClusterSet()
+	for _, s := range w.shards {
+		s.mu.RLock()
+		for c, cs := range s.clusters {
+			clusters.Add(c)
+			size := len(cs.members)
+			if size == 0 {
+				s.mu.RUnlock()
+				return fmt.Errorf("invariant: cluster %v is empty", c)
+			}
+			if size > hi {
+				s.mu.RUnlock()
+				return fmt.Errorf("invariant: cluster %v size %d above split threshold %d", c, size, hi)
+			}
+			if w.nClusters > 1 && size < lo {
+				s.mu.RUnlock()
+				return fmt.Errorf("invariant: cluster %v size %d below merge threshold %d", c, size, lo)
+			}
+			for _, x := range cs.members {
+				if !seen.Add(x) {
+					s.mu.RUnlock()
+					return fmt.Errorf("invariant: node %v is a member of two clusters", x)
+				}
+			}
+		}
+		s.mu.RUnlock()
+	}
+	if seen.Len() != w.NumNodes() {
+		return fmt.Errorf("invariant: %d member nodes vs %d indexed nodes", seen.Len(), w.NumNodes())
+	}
+
+	// Overlay vertices == cluster set.
+	vs := w.overlay.Vertices()
+	if len(vs) != clusters.Len() {
+		return fmt.Errorf("invariant: overlay has %d vertices vs %d clusters", len(vs), clusters.Len())
+	}
+	for _, c := range vs {
+		if !clusters.Has(c) {
+			return fmt.Errorf("invariant: overlay vertex %v is not a cluster", c)
+		}
+	}
+	return nil
+}

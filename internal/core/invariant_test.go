@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"nowover/internal/xrand"
+)
+
+// requireInvariants is the test-layer wrapper around the reusable
+// CheckInvariants oracle.
+func requireInvariants(t testing.TB, w *World) {
+	t.Helper()
+	if err := CheckInvariants(w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsHoldAtBootstrap(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		w := newTestWorld(t, shards, 5)
+		requireInvariants(t, w)
+	}
+}
+
+// TestInvariantsAfterRandomOps drives randomized operation sequences —
+// batched through the op scheduler plus interleaved classic ops — and
+// asserts CheckInvariants after every step, in both the serial (Shards=1)
+// and sharded (Shards=8) execution modes. This is the reusable
+// invariant-layer entry point the ISSUE asks for: any future maintenance
+// change that can corrupt membership, Byzantine counts, size bounds or the
+// overlay/partition correspondence fails here first.
+func TestInvariantsAfterRandomOps(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, shards := range []int{1, 8} {
+		for _, seed := range seeds {
+			w := newTestWorld(t, shards, seed)
+			r := xrand.New(seed ^ 0xBEEF)
+			for step := 0; step < 12; step++ {
+				switch r.Intn(3) {
+				case 0:
+					w.ExecBatch(randomBatch(w, r, 1+r.Intn(8)))
+				case 1:
+					if _, err := w.JoinAuto(r.Bool(0.2)); err != nil {
+						t.Fatalf("shards=%d seed=%d: %v", shards, seed, err)
+					}
+				case 2:
+					if x, ok := w.RandomNode(r); ok {
+						if err := w.Leave(x); err != nil {
+							t.Fatalf("shards=%d seed=%d: %v", shards, seed, err)
+						}
+					}
+				}
+				if err := CheckInvariants(w); err != nil {
+					t.Fatalf("shards=%d seed=%d step=%d: %v", shards, seed, step, err)
+				}
+			}
+		}
+	}
+}
+
+// TestInvariantsWithRejoinMerge exercises the MergeRejoinAll strategy
+// (pending-rejoin queue) under batches: merges run on the scheduler's
+// serial tail and displace nodes that must be re-joined via the classic
+// path without breaking any index.
+func TestInvariantsWithRejoinMerge(t *testing.T) {
+	cfg := DefaultConfig(512)
+	cfg.Seed = 17
+	cfg.Shards = 8
+	cfg.MergeStrategy = MergeRejoinAll
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bootstrap(200, func(slot int) bool { return slot%6 == 0 }); err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(31)
+	for step := 0; step < 25; step++ {
+		// Drain displaced nodes first, like the simulator does.
+		for _, x := range w.PendingRejoins() {
+			if err := w.Rejoin(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ops := make([]Op, 0, 4)
+		for len(ops) < 4 {
+			x, ok := w.RandomNode(r)
+			if !ok {
+				break
+			}
+			ops = append(ops, Op{Kind: OpLeave, Victim: x})
+		}
+		for _, rr := range w.ExecBatch(ops) {
+			if rr.Err != nil && !IsUnknownNode(rr.Err) {
+				t.Fatal(rr.Err)
+			}
+		}
+		requireInvariants(t, w)
+		if w.NumNodes() < 3*w.cfg.TargetClusterSize() {
+			break // shrunk far enough to have exercised merges
+		}
+	}
+	if w.Stats().Merges == 0 {
+		t.Fatal("shrink run produced no merges")
+	}
+}
+
+// TestCheckInvariantsDetectsBreakage corrupts the bookkeeping directly and
+// confirms the oracle notices — an oracle that cannot fail is worthless.
+func TestCheckInvariantsDetectsBreakage(t *testing.T) {
+	w := newTestWorld(t, 4, 23)
+	// Silently drop one member from a cluster's list without touching any
+	// derived index: consistency must flag the mismatch.
+	for _, s := range w.shards {
+		for _, cs := range s.clusters {
+			x := cs.members[len(cs.members)-1]
+			cs.members = cs.members[:len(cs.members)-1]
+			delete(cs.pos, x)
+			if err := CheckInvariants(w); err == nil {
+				t.Fatal("invariant oracle missed a vanished member")
+			}
+			return
+		}
+	}
+}

@@ -7,7 +7,15 @@ import (
 	"nowover/internal/ids"
 	"nowover/internal/metrics"
 	"nowover/internal/randnum"
+	"nowover/internal/walk"
+	"nowover/internal/xrand"
 )
+
+// The maintenance operations are written against an explicit (ledger, rng)
+// pair rather than the world's own, so the op scheduler can replay a
+// deferred operation on its per-op derived stream and ledger. The classic
+// public API passes (w.led, w.rng, settle=true) and is byte-identical to
+// the historical single-stream behavior.
 
 // Bootstrap runs the initialization phase (paper section 3.2) at size n0:
 // network discovery, Byzantine-agreement clusterization by a representative
@@ -63,7 +71,7 @@ func (w *World) Bootstrap(n0 int, corrupt func(slot int) bool) error {
 			break
 		}
 		c := w.clAlloc.NextCluster()
-		w.clusters[c] = &clusterState{pos: make(map[ids.NodeID]int, end-start)}
+		w.putCluster(c, &clusterState{pos: make(map[ids.NodeID]int, end-start)})
 		clusterIDs = append(clusterIDs, c)
 		for _, slot := range slots[start:end] {
 			w.seedNode(c, byz[slot])
@@ -103,11 +111,10 @@ func (w *World) Bootstrap(n0 int, corrupt func(slot int) bool) error {
 // seedNode creates one initial node in cluster c.
 func (w *World) seedNode(c ids.ClusterID, byz bool) {
 	x := w.nodeAlloc.NextNode()
-	cs := w.clusters[c]
-	w.noteSizeChange(c, len(cs.members), len(cs.members)+1)
-	cs.add(x, byz)
+	if err := w.insertMember(c, x, byz); err != nil {
+		panic(err) // bootstrap seeds only clusters it just created
+	}
 	w.registerNode(x, byz, c)
-	w.reclassify(c)
 }
 
 // JoinAuto performs a Join whose contact cluster is chosen uniformly — the
@@ -126,24 +133,24 @@ func (w *World) JoinAuto(byz bool) (ids.NodeID, error) {
 // exceeded the threshold. Returns the new node's ID.
 func (w *World) Join(byz bool, contact ids.ClusterID) (ids.NodeID, error) {
 	x := w.nodeAlloc.NextNode()
-	if err := w.joinExisting(x, byz, contact); err != nil {
+	if err := w.joinExisting(w.led, w.rng, x, byz, contact, true); err != nil {
 		return 0, err
 	}
 	return x, nil
 }
 
 // joinExisting inserts a specific node identity (fresh or rejoining).
-func (w *World) joinExisting(x ids.NodeID, byz bool, contact ids.ClusterID) error {
+func (w *World) joinExisting(led *metrics.Ledger, rng *xrand.Rand, x ids.NodeID, byz bool, contact ids.ClusterID, settle bool) error {
 	if !w.bootstrapped {
 		return fmt.Errorf("core: join before bootstrap")
 	}
 	if w.Contains(x) {
 		return fmt.Errorf("core: node %v already present", x)
 	}
-	if _, ok := w.clusters[contact]; !ok {
-		return fmt.Errorf("core: join contact %v is not a cluster", contact)
+	if !w.hasCluster(contact) {
+		return fmt.Errorf("core: join contact %v is not a cluster: %w", contact, ErrUnknownCluster)
 	}
-	out, err := w.walker.Biased(w.led, w.rng, contact)
+	out, err := w.walker.Biased(led, rng, contact)
 	if err != nil {
 		return fmt.Errorf("core: join walk: %w", err)
 	}
@@ -151,42 +158,60 @@ func (w *World) joinExisting(x ids.NodeID, byz bool, contact ids.ClusterID) erro
 		w.stats.HijackedWalks++
 	}
 	target := out.End
-	cs := w.clusters[target]
-	w.noteSizeChange(target, len(cs.members), len(cs.members)+1)
-	cs.add(x, byz)
+	if err := w.insertMember(target, x, byz); err != nil {
+		return err
+	}
 	w.registerNode(x, byz, target)
-	w.reclassify(target)
-	w.chargeInsertion(target)
+	chargeInsertion(w, led, target)
 
 	if w.cfg.ExchangeOnJoin {
-		rep, err := w.exch.Run(w.led, w.rng, target)
+		rep, err := w.exch.Run(led, rng, target)
 		if err != nil {
 			return fmt.Errorf("core: join exchange: %w", err)
 		}
 		w.stats.HijackedWalks += int64(rep.Hijacked)
 	}
 	if w.Size(target) > w.cfg.SplitThreshold() {
-		if err := w.split(target); err != nil {
+		if err := w.split(led, rng, target); err != nil {
 			return fmt.Errorf("core: join split: %w", err)
 		}
 	}
 	w.stats.Joins++
-	w.settleSecurity()
+	if settle {
+		w.settleSecurity()
+	}
 	return nil
 }
 
 // chargeInsertion charges the cost of installing one node into cluster c:
 // the cluster's members update their views, adjacent clusters are informed,
-// and the node downloads its cluster and neighborhood composition.
-func (w *World) chargeInsertion(c ids.ClusterID) {
-	size := int64(w.Size(c))
-	w.led.Charge(metrics.ClassIntraCluster, size-1)
+// and the node downloads its cluster and neighborhood composition. It is
+// written against walk.Topology so the classic path (on the world) and the
+// op scheduler's planner (on a planView) share one cost model.
+func chargeInsertion(t walk.Topology, led *metrics.Ledger, c ids.ClusterID) {
+	size := int64(t.Size(c))
+	led.Charge(metrics.ClassIntraCluster, size-1)
 	var nbr int64
-	for i, d := 0, w.Degree(c); i < d; i++ {
-		nbr += int64(w.Size(w.NeighborAt(c, i)))
+	for i, d := 0, t.Degree(c); i < d; i++ {
+		nbr += int64(t.Size(t.NeighborAt(c, i)))
 	}
-	w.led.Charge(metrics.ClassInterCluster, size*nbr+size+nbr)
-	w.led.AddRounds(2)
+	led.Charge(metrics.ClassInterCluster, size*nbr+size+nbr)
+	led.AddRounds(2)
+}
+
+// chargeDeparture charges the cost of detecting one departure from c and
+// cleaning up views: the remaining members all notice, and every adjacent
+// cluster is told the new composition. Shared between the classic leave
+// path and the scheduler's leave planner; call BEFORE removing the node.
+func chargeDeparture(t walk.Topology, led *metrics.Ledger, c ids.ClusterID) {
+	size := int64(t.Size(c))
+	led.Charge(metrics.ClassIntraCluster, size-1)
+	var nbrMass int64
+	for i, d := 0, t.Degree(c); i < d; i++ {
+		nbrMass += int64(t.Size(t.NeighborAt(c, i)))
+	}
+	led.Charge(metrics.ClassInterCluster, (size-1)*nbrMass)
+	led.AddRounds(2)
 }
 
 // Leave executes the paper's Leave operation (Algorithm 2): the cluster
@@ -194,54 +219,48 @@ func (w *World) chargeInsertion(c ids.ClusterID) {
 // onto every cluster that received one of them, and merges if it fell
 // below the threshold.
 func (w *World) Leave(x ids.NodeID) error {
+	return w.leaveWith(w.led, w.rng, x, true)
+}
+
+func (w *World) leaveWith(led *metrics.Ledger, rng *xrand.Rand, x ids.NodeID, settle bool) error {
 	if !w.bootstrapped {
 		return fmt.Errorf("core: leave before bootstrap")
 	}
-	info, ok := w.nodes[x]
+	info, ok := w.nodeInfoOf(x)
 	if !ok {
-		return fmt.Errorf("core: leave of unknown node %v", x)
+		return fmt.Errorf("core: leave of node %v: %w", x, ErrUnknownNode)
 	}
 	c := info.cluster
-	cs := w.clusters[c]
+	chargeDeparture(w, led, c)
 
-	// Departure detection and view cleanup.
-	size := int64(len(cs.members))
-	w.led.Charge(metrics.ClassIntraCluster, size-1)
-	var nbrMass int64
-	for i, d := 0, w.Degree(c); i < d; i++ {
-		nbrMass += int64(w.Size(w.NeighborAt(c, i)))
-	}
-	w.led.Charge(metrics.ClassInterCluster, (size-1)*nbrMass)
-	w.led.AddRounds(2)
-
-	w.noteSizeChange(c, len(cs.members), len(cs.members)-1)
-	if err := cs.remove(x, info.byz); err != nil {
+	if err := w.removeMember(c, x, info.byz); err != nil {
 		return err
 	}
 	w.unregisterNode(x)
-	w.reclassify(c)
 
-	if len(cs.members) == 0 {
+	if w.Size(c) == 0 {
 		// Pathological: cluster emptied (only possible with tiny
 		// configurations); retire it from the overlay.
-		w.removeClusterVertex(c)
+		w.removeClusterVertex(led, rng, c)
 		w.stats.Leaves++
-		w.settleSecurity()
+		if settle {
+			w.settleSecurity()
+		}
 		return nil
 	}
 
 	if w.cfg.ExchangeOnLeave {
-		rep, err := w.exch.Run(w.led, w.rng, c)
+		rep, err := w.exch.Run(led, rng, c)
 		if err != nil {
 			return fmt.Errorf("core: leave exchange: %w", err)
 		}
 		w.stats.HijackedWalks += int64(rep.Hijacked)
 		if w.cfg.LeaveCascade {
 			for _, recv := range rep.Receivers {
-				if _, ok := w.clusters[recv]; !ok {
+				if !w.hasCluster(recv) {
 					continue
 				}
-				crep, err := w.exch.Run(w.led, w.rng, recv)
+				crep, err := w.exch.Run(led, rng, recv)
 				if err != nil {
 					return fmt.Errorf("core: leave cascade exchange: %w", err)
 				}
@@ -250,12 +269,14 @@ func (w *World) Leave(x ids.NodeID) error {
 		}
 	}
 	if w.Size(c) < w.cfg.MergeThreshold() {
-		if err := w.merge(c); err != nil {
+		if err := w.merge(led, rng, c); err != nil {
 			return fmt.Errorf("core: leave merge: %w", err)
 		}
 	}
 	w.stats.Leaves++
-	w.settleSecurity()
+	if settle {
+		w.settleSecurity()
+	}
 	return nil
 }
 
@@ -265,15 +286,21 @@ func (w *World) Leave(x ids.NodeID) error {
 // use it to measure Lemma 1-3 dynamics (post-exchange composition, drift,
 // recovery) and its isolated cost (paper section 3.1).
 func (w *World) ForceExchange(c ids.ClusterID) error {
-	if _, ok := w.clusters[c]; !ok {
-		return fmt.Errorf("core: exchange on unknown cluster %v", c)
+	return w.forceExchangeWith(w.led, w.rng, c, true)
+}
+
+func (w *World) forceExchangeWith(led *metrics.Ledger, rng *xrand.Rand, c ids.ClusterID, settle bool) error {
+	if !w.hasCluster(c) {
+		return fmt.Errorf("core: exchange on cluster %v: %w", c, ErrUnknownCluster)
 	}
-	rep, err := w.exch.Run(w.led, w.rng, c)
+	rep, err := w.exch.Run(led, rng, c)
 	if err != nil {
 		return err
 	}
 	w.stats.HijackedWalks += int64(rep.Hijacked)
-	w.settleSecurity()
+	if settle {
+		w.settleSecurity()
+	}
 	return nil
 }
 
@@ -283,20 +310,27 @@ func (w *World) ForceExchange(c ids.ClusterID) error {
 // decay Lemmas 2-3 analyze, without replaying the join-leave sequences
 // that would produce them. It keeps every invariant index consistent.
 func (w *World) SetCorrupted(x ids.NodeID, corrupted bool) error {
-	info, ok := w.nodes[x]
+	info, ok := w.nodeInfoOf(x)
 	if !ok {
-		return fmt.Errorf("core: unknown node %v", x)
+		return fmt.Errorf("core: node %v: %w", x, ErrUnknownNode)
 	}
 	if info.byz == corrupted {
 		return nil
 	}
-	cs := w.clusters[info.cluster]
+	s := w.shardFor(info.cluster)
+	s.mu.Lock()
+	cs := s.clusters[info.cluster]
 	if corrupted {
 		cs.byz++
+	} else {
+		cs.byz--
+	}
+	s.reclassify(info.cluster)
+	s.mu.Unlock()
+	if corrupted {
 		w.byzPos[x] = len(w.byzNodes)
 		w.byzNodes = append(w.byzNodes, x)
 	} else {
-		cs.byz--
 		j := w.byzPos[x]
 		last := len(w.byzNodes) - 1
 		moved := w.byzNodes[last]
@@ -306,8 +340,7 @@ func (w *World) SetCorrupted(x ids.NodeID, corrupted bool) error {
 		delete(w.byzPos, x)
 	}
 	info.byz = corrupted
-	w.nodes[x] = info
-	w.reclassify(info.cluster)
+	w.setNodeInfo(x, info)
 	w.settleSecurity()
 	return nil
 }
@@ -315,22 +348,22 @@ func (w *World) SetCorrupted(x ids.NodeID, corrupted bool) error {
 // split bipartitions an oversized cluster (section 3.3): a random half
 // stays under the old identity (keeping its overlay edges), the other half
 // becomes a fresh overlay vertex wired by OVER's Add.
-func (w *World) split(c ids.ClusterID) error {
+func (w *World) split(led *metrics.Ledger, rng *xrand.Rand, c ids.ClusterID) error {
 	members := w.Members(c)
 	// The partition is generated collectively: one randNum instance seeds
 	// the permutation.
-	if _, _, err := w.cfg.Generator.Draw(w.led, w.rng, randnum.Params{
+	if _, _, err := w.cfg.Generator.Draw(led, rng, randnum.Params{
 		Size: len(members), Byz: w.Byz(c), R: 1 << 30,
 	}, nil); err != nil {
 		return err
 	}
-	w.rng.Shuffle(len(members), func(i, j int) {
+	rng.Shuffle(len(members), func(i, j int) {
 		members[i], members[j] = members[j], members[i]
 	})
 	keep := (len(members) + 1) / 2
 
 	c2 := w.clAlloc.NextCluster()
-	w.clusters[c2] = &clusterState{pos: make(map[ids.NodeID]int, len(members)-keep)}
+	w.putCluster(c2, &clusterState{pos: make(map[ids.NodeID]int, len(members)-keep)})
 	for _, x := range members[keep:] {
 		if err := w.moveNode(x, c, c2); err != nil {
 			return err
@@ -340,7 +373,7 @@ func (w *World) split(c ids.ClusterID) error {
 	// OVER Add: wire the new vertex via uniform CTRWs started at the
 	// sibling (the only vertex the new cluster is guaranteed to know).
 	budget := w.cfg.TargetDegree() * w.cfg.EdgeAttemptFactor
-	added, err := w.overlay.Add(w.led, c2, w.uniformPickerFrom(c), budget)
+	added, err := w.overlay.Add(led, c2, w.uniformPickerFrom(led, rng, c), budget)
 	if err != nil {
 		return err
 	}
@@ -352,26 +385,26 @@ func (w *World) split(c ids.ClusterID) error {
 	for i, d := 0, w.Degree(c); i < d; i++ {
 		mass += int64(w.Size(w.NeighborAt(c, i)))
 	}
-	w.led.Charge(metrics.ClassInterCluster, int64(w.Size(c))*mass)
+	led.Charge(metrics.ClassInterCluster, int64(w.Size(c))*mass)
 	for i, d := 0, w.Degree(c2); i < d; i++ {
-		w.led.Charge(metrics.ClassInterCluster,
+		led.Charge(metrics.ClassInterCluster,
 			int64(w.Size(c2))*int64(w.Size(w.NeighborAt(c2, i))))
 	}
-	w.led.AddRounds(2)
+	led.AddRounds(2)
 	w.stats.Splits++
 	return nil
 }
 
 // merge handles an undersized cluster per the configured strategy.
-func (w *World) merge(c ids.ClusterID) error {
-	if len(w.clusters) <= 1 {
+func (w *World) merge(led *metrics.Ledger, rng *xrand.Rand, c ids.ClusterID) error {
+	if w.nClusters <= 1 {
 		return nil // cannot merge the last cluster
 	}
 	switch w.cfg.MergeStrategy {
 	case MergeAbsorbRandom:
-		return w.mergeAbsorbRandom(c)
+		return w.mergeAbsorbRandom(led, rng, c)
 	case MergeRejoinAll:
-		return w.mergeRejoinAll(c)
+		return w.mergeRejoinAll(led, rng, c)
 	default:
 		return fmt.Errorf("core: unknown merge strategy %v", w.cfg.MergeStrategy)
 	}
@@ -380,8 +413,8 @@ func (w *World) merge(c ids.ClusterID) error {
 // mergeAbsorbRandom: a random cluster C' (chosen by randCl so that OVER's
 // random-removal assumption holds) is dissolved into c, then c exchanges
 // all its nodes.
-func (w *World) mergeAbsorbRandom(c ids.ClusterID) error {
-	partner, err := w.randomOtherCluster(c)
+func (w *World) mergeAbsorbRandom(led *metrics.Ledger, rng *xrand.Rand, c ids.ClusterID) error {
+	partner, err := w.randomOtherCluster(led, rng, c)
 	if err != nil {
 		return err
 	}
@@ -390,51 +423,48 @@ func (w *World) mergeAbsorbRandom(c ids.ClusterID) error {
 	for i, d := 0, w.Degree(partner); i < d; i++ {
 		mass += int64(w.Size(w.NeighborAt(partner, i)))
 	}
-	w.led.Charge(metrics.ClassInterCluster, int64(w.Size(partner))*mass)
+	led.Charge(metrics.ClassInterCluster, int64(w.Size(partner))*mass)
 
 	for _, x := range w.Members(partner) {
 		if err := w.moveNode(x, partner, c); err != nil {
 			return err
 		}
-		w.led.Charge(metrics.ClassExchange, int64(w.Size(c)))
+		led.Charge(metrics.ClassExchange, int64(w.Size(c)))
 	}
-	w.removeClusterVertex(partner)
-	w.led.AddRounds(2)
+	w.removeClusterVertex(led, rng, partner)
+	led.AddRounds(2)
 
-	rep, err := w.exch.Run(w.led, w.rng, c)
+	rep, err := w.exch.Run(led, rng, c)
 	if err != nil {
 		return err
 	}
 	w.stats.HijackedWalks += int64(rep.Hijacked)
 	w.stats.Merges++
 	if w.Size(c) > w.cfg.SplitThreshold() {
-		return w.split(c)
+		return w.split(led, rng, c)
 	}
 	return nil
 }
 
 // mergeRejoinAll: the undersized cluster leaves the overlay and its
 // members re-join individually on subsequent time steps (Algorithm 2).
-func (w *World) mergeRejoinAll(c ids.ClusterID) error {
+func (w *World) mergeRejoinAll(led *metrics.Ledger, rng *xrand.Rand, c ids.ClusterID) error {
 	var mass int64
 	for i, d := 0, w.Degree(c); i < d; i++ {
 		mass += int64(w.Size(w.NeighborAt(c, i)))
 	}
-	w.led.Charge(metrics.ClassInterCluster, int64(w.Size(c))*mass)
+	led.Charge(metrics.ClassInterCluster, int64(w.Size(c))*mass)
 	for _, x := range w.Members(c) {
-		info := w.nodes[x]
-		cs := w.clusters[c]
-		w.noteSizeChange(c, len(cs.members), len(cs.members)-1)
-		if err := cs.remove(x, info.byz); err != nil {
+		info, _ := w.nodeInfoOf(x)
+		if err := w.removeMember(c, x, info.byz); err != nil {
 			return err
 		}
 		w.unregisterNode(x)
 		w.pendingRejoin = append(w.pendingRejoin, x)
 		w.rejoinByz[x] = info.byz
 	}
-	w.reclassify(c)
-	w.removeClusterVertex(c)
-	w.led.AddRounds(2)
+	w.removeClusterVertex(led, rng, c)
+	led.AddRounds(2)
 	w.stats.Merges++
 	return nil
 }
@@ -451,7 +481,7 @@ func (w *World) Rejoin(x ids.NodeID) error {
 	if !ok2 {
 		return fmt.Errorf("core: no clusters to rejoin")
 	}
-	if err := w.joinExisting(x, byz, contact); err != nil {
+	if err := w.joinExisting(w.led, w.rng, x, byz, contact, true); err != nil {
 		return err
 	}
 	w.stats.Rejoins++
@@ -460,8 +490,8 @@ func (w *World) Rejoin(x ids.NodeID) error {
 
 // randomOtherCluster picks a random cluster != c via the biased walk,
 // falling back to a uniform draw if every restart lands on c.
-func (w *World) randomOtherCluster(c ids.ClusterID) (ids.ClusterID, error) {
-	out, err := w.walker.Biased(w.led, w.rng, c)
+func (w *World) randomOtherCluster(led *metrics.Ledger, rng *xrand.Rand, c ids.ClusterID) (ids.ClusterID, error) {
+	out, err := w.walker.Biased(led, rng, c)
 	if err != nil {
 		return 0, err
 	}
@@ -473,7 +503,7 @@ func (w *World) randomOtherCluster(c ids.ClusterID) (ids.ClusterID, error) {
 	}
 	vs := w.overlay.Vertices()
 	for {
-		cand := vs[w.rng.Intn(len(vs))]
+		cand := vs[rng.Intn(len(vs))]
 		if cand != c {
 			return cand, nil
 		}
@@ -492,28 +522,32 @@ func (w *World) moveNode(x ids.NodeID, from, to ids.ClusterID) error {
 
 // removeClusterVertex retires c from both the partition bookkeeping and
 // the overlay, running OVER's repair pass.
-func (w *World) removeClusterVertex(c ids.ClusterID) {
-	if cs, ok := w.clusters[c]; ok {
-		w.noteSizeChange(c, len(cs.members), 0)
-		delete(w.clusters, c)
+func (w *World) removeClusterVertex(led *metrics.Ledger, rng *xrand.Rand, c ids.ClusterID) {
+	s := w.shardFor(c)
+	s.mu.Lock()
+	if cs, ok := s.clusters[c]; ok {
+		s.noteSizeChange(len(cs.members), 0)
+		delete(s.clusters, c)
+		w.nClusters--
 	}
-	delete(w.degraded, c)
+	delete(s.degraded, c)
+	s.mu.Unlock()
 	if w.overlay.Has(c) {
 		budget := w.cfg.TargetDegree() * w.cfg.EdgeAttemptFactor
 		// Repair walks start from the vertex being repaired.
-		_, _ = w.overlay.Remove(w.led, c, w.uniformPickerFromSelf(), budget)
+		_, _ = w.overlay.Remove(led, c, w.uniformPickerFromSelf(led, rng), budget)
 	}
 }
 
 // uniformPickerFrom returns an OVER edge-endpoint picker whose walks start
 // at the fixed vertex `start` (used when the wired vertex itself has no
 // edges yet).
-func (w *World) uniformPickerFrom(start ids.ClusterID) func(ids.ClusterID) (ids.ClusterID, bool) {
+func (w *World) uniformPickerFrom(led *metrics.Ledger, rng *xrand.Rand, start ids.ClusterID) func(ids.ClusterID) (ids.ClusterID, bool) {
 	return func(ids.ClusterID) (ids.ClusterID, bool) {
 		if !w.overlay.Has(start) {
 			return 0, false
 		}
-		out, err := w.walker.Uniform(w.led, w.rng, start)
+		out, err := w.walker.Uniform(led, rng, start)
 		if err != nil {
 			return 0, false
 		}
@@ -525,12 +559,12 @@ func (w *World) uniformPickerFrom(start ids.ClusterID) func(ids.ClusterID) (ids.
 }
 
 // uniformPickerFromSelf starts each walk at the vertex being repaired.
-func (w *World) uniformPickerFromSelf() func(ids.ClusterID) (ids.ClusterID, bool) {
+func (w *World) uniformPickerFromSelf(led *metrics.Ledger, rng *xrand.Rand) func(ids.ClusterID) (ids.ClusterID, bool) {
 	return func(from ids.ClusterID) (ids.ClusterID, bool) {
 		if !w.overlay.Has(from) {
 			return 0, false
 		}
-		out, err := w.walker.Uniform(w.led, w.rng, from)
+		out, err := w.walker.Uniform(led, rng, from)
 		if err != nil {
 			return 0, false
 		}

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"nowover/internal/exchange"
 	"nowover/internal/ids"
@@ -11,6 +14,24 @@ import (
 	"nowover/internal/walk"
 	"nowover/internal/xrand"
 )
+
+// ErrUnknownNode reports an operation aimed at a node that is not in the
+// network. Batch drivers match it to distinguish "the victim already left"
+// from genuine protocol failures.
+var ErrUnknownNode = errors.New("core: unknown node")
+
+// IsUnknownNode reports whether err indicates an operation aimed at a node
+// that is not (or no longer) in the network.
+func IsUnknownNode(err error) bool { return errors.Is(err, ErrUnknownNode) }
+
+// ErrUnknownCluster reports an operation aimed at a cluster that is not in
+// the overlay — typically one dissolved by a merge earlier in the same
+// batch. Batch drivers match it the same way as ErrUnknownNode.
+var ErrUnknownCluster = errors.New("core: unknown cluster")
+
+// IsUnknownCluster reports whether err indicates an operation aimed at a
+// cluster that is not (or no longer) in the overlay.
+func IsUnknownCluster(err error) bool { return errors.Is(err, ErrUnknownCluster) }
 
 // nodeInfo is the world's per-node record.
 type nodeInfo struct {
@@ -27,6 +48,9 @@ type clusterState struct {
 }
 
 func (cs *clusterState) add(x ids.NodeID, byz bool) {
+	if cs.pos == nil {
+		cs.pos = make(map[ids.NodeID]int)
+	}
 	cs.pos[x] = len(cs.members)
 	cs.members = append(cs.members, x)
 	if byz {
@@ -37,7 +61,12 @@ func (cs *clusterState) add(x ids.NodeID, byz bool) {
 func (cs *clusterState) remove(x ids.NodeID, byz bool) error {
 	i, ok := cs.pos[x]
 	if !ok {
+		// Double removal (e.g. of a node that was swap-moved out by an
+		// earlier removal) lands here: the position index is the guard.
 		return fmt.Errorf("core: node %v not in cluster", x)
+	}
+	if byz && cs.byz == 0 {
+		return fmt.Errorf("core: removing %v would underflow the Byzantine count", x)
 	}
 	last := len(cs.members) - 1
 	moved := cs.members[last]
@@ -48,7 +77,29 @@ func (cs *clusterState) remove(x ids.NodeID, byz bool) error {
 	if byz {
 		cs.byz--
 	}
+	if len(cs.members) == 0 {
+		// Removing the last member: release the backing array instead of
+		// keeping an empty slice pinning the full former capacity. The
+		// cluster is about to be retired or refilled; either way a stale
+		// array is a leak.
+		cs.members = nil
+	}
 	return nil
+}
+
+// clone deep-copies the cluster record (used by the op scheduler's
+// copy-on-write planning views).
+func (cs *clusterState) clone() *clusterState {
+	out := &clusterState{
+		members: make([]ids.NodeID, len(cs.members)),
+		pos:     make(map[ids.NodeID]int, len(cs.members)),
+		byz:     cs.byz,
+	}
+	copy(out.members, cs.members)
+	for x, i := range cs.pos {
+		out.pos[x] = i
+	}
+	return out
 }
 
 // Stats accumulates protocol-lifetime counters and security high-water
@@ -71,50 +122,179 @@ type Stats struct {
 	MaxByzFractionEver float64
 }
 
+// accumulate folds per-operation deltas (from the op scheduler) into the
+// lifetime counters. High-water fields are not deltas and are settled
+// separately at batch boundaries.
+func (s *Stats) accumulate(d Stats) {
+	s.Joins += d.Joins
+	s.Leaves += d.Leaves
+	s.Splits += d.Splits
+	s.Merges += d.Merges
+	s.Rejoins += d.Rejoins
+	s.Swaps += d.Swaps
+	s.HijackedWalks += d.HijackedWalks
+}
+
 // hijackProxy lets the adversary be installed after World construction.
-type hijackProxy struct{ h walk.Hijacker }
+// The mutex guards installation against concurrent reads; the op scheduler
+// additionally plans serially whenever a hijacker is installed (see
+// planWorkers) so a stateful hijacker observes walks in deterministic op
+// order.
+type hijackProxy struct {
+	mu sync.Mutex
+	h  walk.Hijacker
+}
 
 func (p *hijackProxy) Redirect(at ids.ClusterID) (ids.ClusterID, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.h == nil {
 		return 0, false
 	}
 	return p.h.Redirect(at)
 }
 
-// World is the complete NOW protocol state. It is not safe for concurrent
-// use; the paper's model is synchronous and the simulator single-threaded.
-type World struct {
-	cfg Config
-	led *metrics.Ledger
-	rng *xrand.Rand
+func (p *hijackProxy) set(h walk.Hijacker) {
+	p.mu.Lock()
+	p.h = h
+	p.mu.Unlock()
+}
 
-	nodes    map[ids.NodeID]nodeInfo
-	clusters map[ids.ClusterID]*clusterState
-	overlay  *over.Overlay
+func (p *hijackProxy) installed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.h != nil
+}
+
+// worldShard is one independently lockable segment of the cluster-keyed
+// state: the cluster records themselves plus every index derived from them
+// (live/settled security classes, the size multiset and its max tracker).
+// Clusters are assigned to shards by ClusterID modulo the shard count, so
+// operations whose cluster footprints are disjoint touch disjoint shard
+// entries and can run concurrently under the shard locks.
+type worldShard struct {
+	mu        sync.RWMutex
+	clusters  map[ids.ClusterID]*clusterState
+	degraded  map[ids.ClusterID]randnum.Security
+	settled   map[ids.ClusterID]randnum.Security
+	sizeCount map[int]int
+	maxSize   int
+}
+
+func newWorldShard() *worldShard {
+	return &worldShard{
+		clusters:  make(map[ids.ClusterID]*clusterState),
+		degraded:  make(map[ids.ClusterID]randnum.Security),
+		settled:   make(map[ids.ClusterID]randnum.Security),
+		sizeCount: make(map[int]int),
+	}
+}
+
+// noteSizeChange updates the shard's size multiset and max-size tracker for
+// a cluster moving from size a to size b. Caller holds s.mu.
+func (s *worldShard) noteSizeChange(a, b int) {
+	if a == b {
+		return
+	}
+	if a > 0 {
+		s.sizeCount[a]--
+		if s.sizeCount[a] == 0 {
+			delete(s.sizeCount, a)
+		}
+	}
+	if b > 0 {
+		s.sizeCount[b]++
+	}
+	if b > s.maxSize {
+		s.maxSize = b
+	} else if a == s.maxSize && s.sizeCount[a] == 0 {
+		// The (possibly unique) largest cluster of this shard shrank: scan
+		// down. Distinct sizes are O(log N), so this is trivial.
+		m := 0
+		for sz := range s.sizeCount {
+			if sz > m {
+				m = sz
+			}
+		}
+		s.maxSize = m
+	}
+}
+
+// reclassify recomputes a cluster's live security level. Event counters
+// are NOT advanced here — transients inside one operation are not time
+// step states; settleSecurity handles accounting at operation boundaries.
+// Caller holds s.mu.
+func (s *worldShard) reclassify(c ids.ClusterID) {
+	cs, ok := s.clusters[c]
+	if !ok || len(cs.members) == 0 {
+		delete(s.degraded, c)
+		return
+	}
+	now := randnum.Classify(len(cs.members), cs.byz)
+	if now == randnum.Secure {
+		delete(s.degraded, c)
+	} else {
+		s.degraded[c] = now
+	}
+}
+
+// nodeShard is one lockable segment of the node index, keyed by NodeID
+// modulo the shard count.
+type nodeShard struct {
+	mu    sync.RWMutex
+	nodes map[ids.NodeID]nodeInfo
+}
+
+// defaultShards is the package-level default shard count applied when
+// Config.Shards is zero; see SetDefaultShards.
+var defaultShards atomic.Int32
+
+// SetDefaultShards fixes the shard count used by worlds whose Config.Shards
+// is zero: 1 restores the fully serial layout, n > 1 partitions cluster
+// state across n lockable segments. Values below 1 reset to 1.
+func SetDefaultShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultShards.Store(int32(n))
+}
+
+// DefaultShards reports the package default shard count (minimum 1).
+func DefaultShards() int {
+	if v := defaultShards.Load(); v > 0 {
+		return int(v)
+	}
+	return 1
+}
+
+// World is the complete NOW protocol state. Cluster-keyed state is
+// partitioned across Config.Shards lockable segments so the op scheduler
+// (ExecBatch) can execute operations with disjoint cluster footprints
+// concurrently. Outside ExecBatch the world is not safe for concurrent
+// use: the paper's model is synchronous and the classic per-operation API
+// (Join/Leave/...) is single-threaded, exactly as before.
+type World struct {
+	cfg     Config
+	led     *metrics.Ledger
+	rng     *xrand.Rand
+	walkCfg walk.Config
+
+	shards     []*worldShard
+	nodeShards []*nodeShard
+	nClusters  int
+	overlay    *over.Overlay
 
 	nodeAlloc ids.NodeAllocator
 	clAlloc   ids.ClusterAllocator
 
-	// Flat node indexes for O(1) uniform sampling by workloads.
+	// Flat node indexes for O(1) uniform sampling by workloads. They are
+	// serial-only state: the op scheduler mutates them in its op-ordered
+	// post-pass, never from apply workers, so they need no lock and their
+	// ordering (which seeds RandomNode draws) stays deterministic.
 	allNodes []ids.NodeID
 	nodePos  map[ids.NodeID]int
 	byzNodes []ids.NodeID
 	byzPos   map[ids.NodeID]int
-
-	// sizeCount is a multiset of cluster sizes maintaining MaxClusterSize
-	// in O(1) amortized.
-	sizeCount map[int]int
-	maxSize   int
-
-	// degraded is the live per-cluster security classification, updated on
-	// every transfer. It reflects mid-operation transients (a split's
-	// half-populated destination, a cluster one member short between the
-	// two legs of a swap) and is what walks consult for capture.
-	degraded map[ids.ClusterID]randnum.Security
-	// settled is the classification at the last operation boundary; event
-	// counters and high-water marks advance only on settled transitions,
-	// matching the paper's per-time-step semantics.
-	settled map[ids.ClusterID]randnum.Security
 
 	walker *walk.Walker
 	exch   *exchange.Exchanger
@@ -138,6 +318,10 @@ func NewWorld(cfg Config) (*World, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	shardCount := cfg.Shards
+	if shardCount == 0 {
+		shardCount = DefaultShards()
+	}
 	ov, err := over.New(over.Params{
 		TargetDegree: cfg.TargetDegree(),
 		DegreeCap:    cfg.DegreeCap(),
@@ -148,27 +332,29 @@ func NewWorld(cfg Config) (*World, error) {
 		return nil, err
 	}
 	w := &World{
-		cfg:       cfg,
-		led:       &metrics.Ledger{},
-		rng:       xrand.New(cfg.Seed),
-		nodes:     make(map[ids.NodeID]nodeInfo),
-		clusters:  make(map[ids.ClusterID]*clusterState),
-		overlay:   ov,
-		nodePos:   make(map[ids.NodeID]int),
-		byzPos:    make(map[ids.NodeID]int),
-		sizeCount: make(map[int]int),
-		degraded:  make(map[ids.ClusterID]randnum.Security),
-		settled:   make(map[ids.ClusterID]randnum.Security),
-		rejoinByz: make(map[ids.NodeID]bool),
-		hijack:    &hijackProxy{},
+		cfg:        cfg,
+		led:        &metrics.Ledger{},
+		rng:        xrand.New(cfg.Seed),
+		shards:     make([]*worldShard, shardCount),
+		nodeShards: make([]*nodeShard, shardCount),
+		overlay:    ov,
+		nodePos:    make(map[ids.NodeID]int),
+		byzPos:     make(map[ids.NodeID]int),
+		rejoinByz:  make(map[ids.NodeID]bool),
+		hijack:     &hijackProxy{},
 	}
-	walker, err := walk.NewWalker(walk.Config{
+	for i := range w.shards {
+		w.shards[i] = newWorldShard()
+		w.nodeShards[i] = &nodeShard{nodes: make(map[ids.NodeID]nodeInfo)}
+	}
+	w.walkCfg = walk.Config{
 		DurationFactor: cfg.WalkDurationFactor,
 		MaxRestarts:    cfg.MaxWalkRestarts,
 		Gen:            cfg.Generator,
 		Hijack:         w.hijack,
 		Steer:          func(c ids.ClusterID) float64 { return w.steerScore(c) },
-	}, w)
+	}
+	walker, err := walk.NewWalker(w.walkCfg, w)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +376,7 @@ func (w *World) steerScore(c ids.ClusterID) float64 {
 
 // SetHijacker installs (or clears) the adversary's captured-cluster walk
 // redirection hook.
-func (w *World) SetHijacker(h walk.Hijacker) { w.hijack.h = h }
+func (w *World) SetHijacker(h walk.Hijacker) { w.hijack.set(h) }
 
 // SetSteer installs (or clears) the adversary's scoring of clusters used to
 // bias last-revealer randomness (only effective with a biasable generator).
@@ -199,16 +385,121 @@ func (w *World) SetSteer(f func(ids.ClusterID) float64) { w.steer = f }
 // Config returns the world's configuration.
 func (w *World) Config() Config { return w.cfg }
 
+// ShardCount reports how many lockable segments cluster state is
+// partitioned across (>= 1).
+func (w *World) ShardCount() int { return len(w.shards) }
+
 // Ledger returns the world's cost ledger.
 func (w *World) Ledger() *metrics.Ledger { return w.led }
 
 // Stats returns the lifetime counters.
 func (w *World) Stats() Stats { return w.stats }
 
+// --- shard routing ---
+
+func (w *World) shardFor(c ids.ClusterID) *worldShard {
+	return w.shards[uint64(c)%uint64(len(w.shards))]
+}
+
+func (w *World) nodeShardFor(x ids.NodeID) *nodeShard {
+	return w.nodeShards[uint64(x)%uint64(len(w.nodeShards))]
+}
+
+func (w *World) hasCluster(c ids.ClusterID) bool {
+	s := w.shardFor(c)
+	s.mu.RLock()
+	_, ok := s.clusters[c]
+	s.mu.RUnlock()
+	return ok
+}
+
+// putCluster installs a fresh cluster record. Serial contexts only
+// (bootstrap, split, merge): cluster creation is structural and the op
+// scheduler never admits structural plans for concurrent apply.
+func (w *World) putCluster(c ids.ClusterID, cs *clusterState) {
+	s := w.shardFor(c)
+	s.mu.Lock()
+	s.clusters[c] = cs
+	s.mu.Unlock()
+	w.nClusters++
+}
+
+// snapshotCluster deep-copies a cluster record for a planning view.
+func (w *World) snapshotCluster(c ids.ClusterID) (*clusterState, bool) {
+	s := w.shardFor(c)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cs, ok := s.clusters[c]
+	if !ok {
+		return nil, false
+	}
+	return cs.clone(), true
+}
+
+func (w *World) nodeInfoOf(x ids.NodeID) (nodeInfo, bool) {
+	ns := w.nodeShardFor(x)
+	ns.mu.RLock()
+	info, ok := ns.nodes[x]
+	ns.mu.RUnlock()
+	return info, ok
+}
+
+func (w *World) setNodeInfo(x ids.NodeID, info nodeInfo) {
+	ns := w.nodeShardFor(x)
+	ns.mu.Lock()
+	ns.nodes[x] = info
+	ns.mu.Unlock()
+}
+
+func (w *World) deleteNodeInfo(x ids.NodeID) {
+	ns := w.nodeShardFor(x)
+	ns.mu.Lock()
+	delete(ns.nodes, x)
+	ns.mu.Unlock()
+}
+
+// --- core membership mutators (shared by the classic serial path and the
+// scheduler's apply phase; all locking lives here) ---
+
+// insertMember adds x (allegiance byz) to cluster c, updating the size
+// multiset and live security class. It does not touch the node index.
+func (w *World) insertMember(c ids.ClusterID, x ids.NodeID, byz bool) error {
+	s := w.shardFor(c)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.clusters[c]
+	if !ok {
+		return fmt.Errorf("core: insert into unknown cluster %v", c)
+	}
+	s.noteSizeChange(len(cs.members), len(cs.members)+1)
+	cs.add(x, byz)
+	s.reclassify(c)
+	return nil
+}
+
+// removeMember removes x from c, updating the size multiset and live
+// security class. It does not touch the node index.
+func (w *World) removeMember(c ids.ClusterID, x ids.NodeID, byz bool) error {
+	s := w.shardFor(c)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.clusters[c]
+	if !ok {
+		return fmt.Errorf("core: remove from unknown cluster %v", c)
+	}
+	n := len(cs.members)
+	if err := cs.remove(x, byz); err != nil {
+		return err
+	}
+	s.noteSizeChange(n, n-1)
+	s.reclassify(c)
+	return nil
+}
+
 // --- walk.Topology ---
 
 // NumClusters implements walk.Topology.
-func (w *World) NumClusters() int { return len(w.clusters) }
+func (w *World) NumClusters() int { return w.nClusters }
 
 // NumOverlayEdges implements walk.Topology.
 func (w *World) NumOverlayEdges() int { return w.overlay.NumEdges() }
@@ -221,7 +512,10 @@ func (w *World) NeighborAt(c ids.ClusterID, i int) ids.ClusterID { return w.over
 
 // Size implements walk.Topology.
 func (w *World) Size(c ids.ClusterID) int {
-	if cs, ok := w.clusters[c]; ok {
+	s := w.shardFor(c)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if cs, ok := s.clusters[c]; ok {
 		return len(cs.members)
 	}
 	return 0
@@ -229,25 +523,45 @@ func (w *World) Size(c ids.ClusterID) int {
 
 // Byz implements walk.Topology.
 func (w *World) Byz(c ids.ClusterID) int {
-	if cs, ok := w.clusters[c]; ok {
+	s := w.shardFor(c)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if cs, ok := s.clusters[c]; ok {
 		return cs.byz
 	}
 	return 0
 }
 
-// MaxClusterSize implements walk.Topology.
-func (w *World) MaxClusterSize() int { return w.maxSize }
+// MaxClusterSize implements walk.Topology: the maximum over the per-shard
+// max trackers.
+func (w *World) MaxClusterSize() int {
+	m := 0
+	for _, s := range w.shards {
+		s.mu.RLock()
+		if s.maxSize > m {
+			m = s.maxSize
+		}
+		s.mu.RUnlock()
+	}
+	return m
+}
 
 // --- exchange.World ---
 
 // MemberAt implements exchange.World.
 func (w *World) MemberAt(c ids.ClusterID, i int) ids.NodeID {
-	return w.clusters[c].members[i]
+	s := w.shardFor(c)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.clusters[c].members[i]
 }
 
 // Members implements exchange.World (snapshot copy).
 func (w *World) Members(c ids.ClusterID) []ids.NodeID {
-	cs, ok := w.clusters[c]
+	s := w.shardFor(c)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cs, ok := s.clusters[c]
 	if !ok {
 		return nil
 	}
@@ -260,126 +574,92 @@ func (w *World) Members(c ids.ClusterID) []ids.NodeID {
 // bookkeeping (membership, Byzantine counts, size multiset, security
 // classification).
 func (w *World) Transfer(x ids.NodeID, from, to ids.ClusterID) error {
-	info, ok := w.nodes[x]
+	info, ok := w.nodeInfoOf(x)
 	if !ok {
 		return fmt.Errorf("core: transfer of unknown node %v", x)
 	}
 	if info.cluster != from {
 		return fmt.Errorf("core: node %v is in %v, not %v", x, info.cluster, from)
 	}
-	src, ok := w.clusters[from]
-	if !ok {
+	if !w.hasCluster(from) {
 		return fmt.Errorf("core: transfer from unknown cluster %v", from)
 	}
-	dst, ok := w.clusters[to]
-	if !ok {
+	if !w.hasCluster(to) {
 		return fmt.Errorf("core: transfer to unknown cluster %v", to)
 	}
-	w.noteSizeChange(from, len(src.members), len(src.members)-1)
-	w.noteSizeChange(to, len(dst.members), len(dst.members)+1)
-	if err := src.remove(x, info.byz); err != nil {
+	if err := w.applyTransfer(x, from, to, info.byz); err != nil {
 		return err
 	}
-	dst.add(x, info.byz)
-	info.cluster = to
-	w.nodes[x] = info
-	w.reclassify(from)
-	w.reclassify(to)
 	w.stats.Swaps++
+	return nil
+}
+
+// applyTransfer performs the raw cluster-and-node-record relocation without
+// validation or swap accounting. Used by Transfer and by the scheduler's
+// apply phase (where admitted plans guarantee validity and stats come from
+// the plan deltas). The two shard mutations are sequential — no observer
+// may read the footprint clusters mid-move, which the scheduler's conflict
+// admission guarantees.
+func (w *World) applyTransfer(x ids.NodeID, from, to ids.ClusterID, byz bool) error {
+	if err := w.removeMember(from, x, byz); err != nil {
+		return err
+	}
+	if err := w.insertMember(to, x, byz); err != nil {
+		return err
+	}
+	w.setNodeInfo(x, nodeInfo{cluster: to, byz: byz})
 	return nil
 }
 
 // --- bookkeeping helpers ---
 
-// noteSizeChange updates the size multiset and the max-size tracker for a
-// cluster moving from size a to size b.
-func (w *World) noteSizeChange(_ ids.ClusterID, a, b int) {
-	if a == b {
-		return
-	}
-	if a > 0 {
-		w.sizeCount[a]--
-		if w.sizeCount[a] == 0 {
-			delete(w.sizeCount, a)
-		}
-	}
-	if b > 0 {
-		w.sizeCount[b]++
-	}
-	if b > w.maxSize {
-		w.maxSize = b
-	} else if a == w.maxSize && w.sizeCount[a] == 0 {
-		// The (possibly unique) largest cluster shrank: scan down. Sizes
-		// are O(log N), so this is trivial.
-		m := 0
-		for s := range w.sizeCount {
-			if s > m {
-				m = s
-			}
-		}
-		w.maxSize = m
-	}
-}
-
-// reclassify recomputes a cluster's live security level. Event counters
-// are NOT advanced here — transients inside one operation are not time
-// step states; settleSecurity handles accounting at operation boundaries.
-func (w *World) reclassify(c ids.ClusterID) {
-	cs, ok := w.clusters[c]
-	if !ok || len(cs.members) == 0 {
-		delete(w.degraded, c)
-		return
-	}
-	now := randnum.Classify(len(cs.members), cs.byz)
-	if now == randnum.Secure {
-		delete(w.degraded, c)
-	} else {
-		w.degraded[c] = now
-	}
-}
-
 // settleSecurity advances the security accounting to the current state:
-// called at the end of every public operation (= paper time step). It
-// counts transitions into the degraded (>= 1/3) and captured (>= 1/2)
-// states and tracks the worst per-cluster Byzantine fraction.
+// called at the end of every public operation (= paper time step) and at
+// the end of every scheduler batch. It counts transitions into the
+// degraded (>= 1/3) and captured (>= 1/2) states and tracks the worst
+// per-cluster Byzantine fraction.
 func (w *World) settleSecurity() {
-	for c, cs := range w.clusters {
-		size := len(cs.members)
-		if size == 0 {
-			delete(w.settled, c)
-			continue
-		}
-		if frac := float64(cs.byz) / float64(size); frac > w.stats.MaxByzFractionEver {
-			w.stats.MaxByzFractionEver = frac
-		}
-		now := randnum.Classify(size, cs.byz)
-		prev := w.settled[c]
-		if now > prev {
-			if now >= randnum.Degraded && prev < randnum.Degraded {
-				w.stats.DegradedEvents++
+	for _, s := range w.shards {
+		s.mu.Lock()
+		for c, cs := range s.clusters {
+			size := len(cs.members)
+			if size == 0 {
+				delete(s.settled, c)
+				continue
 			}
-			if now == randnum.Captured && prev < randnum.Captured {
-				w.stats.CapturedEvents++
+			if frac := float64(cs.byz) / float64(size); frac > w.stats.MaxByzFractionEver {
+				w.stats.MaxByzFractionEver = frac
+			}
+			now := randnum.Classify(size, cs.byz)
+			prev := s.settled[c]
+			if now > prev {
+				if now >= randnum.Degraded && prev < randnum.Degraded {
+					w.stats.DegradedEvents++
+				}
+				if now == randnum.Captured && prev < randnum.Captured {
+					w.stats.CapturedEvents++
+				}
+			}
+			if now == randnum.Secure {
+				delete(s.settled, c)
+			} else {
+				s.settled[c] = now
 			}
 		}
-		if now == randnum.Secure {
-			delete(w.settled, c)
-		} else {
-			w.settled[c] = now
+		// Drop settled entries for clusters that no longer exist.
+		for c := range s.settled {
+			if _, ok := s.clusters[c]; !ok {
+				delete(s.settled, c)
+			}
 		}
-	}
-	// Drop settled entries for clusters that no longer exist.
-	for c := range w.settled {
-		if _, ok := w.clusters[c]; !ok {
-			delete(w.settled, c)
-		}
+		s.mu.Unlock()
 	}
 }
 
-// registerNode inserts a brand-new (or rejoining) node record into the
-// flat indexes.
-func (w *World) registerNode(x ids.NodeID, byz bool, c ids.ClusterID) {
-	w.nodes[x] = nodeInfo{cluster: c, byz: byz}
+// sampleAdd appends a node to the flat sampling indexes. Serial contexts
+// only (classic ops and the scheduler's op-ordered post-pass): the append
+// order seeds RandomNode draws and must stay deterministic.
+func (w *World) sampleAdd(x ids.NodeID, byz bool) {
 	w.nodePos[x] = len(w.allNodes)
 	w.allNodes = append(w.allNodes, x)
 	if byz {
@@ -388,10 +668,9 @@ func (w *World) registerNode(x ids.NodeID, byz bool, c ids.ClusterID) {
 	}
 }
 
-// unregisterNode removes a node record from the flat indexes.
-func (w *World) unregisterNode(x ids.NodeID) {
-	info := w.nodes[x]
-	delete(w.nodes, x)
+// sampleRemove swap-removes a node from the flat sampling indexes. Serial
+// contexts only.
+func (w *World) sampleRemove(x ids.NodeID, byz bool) {
 	i := w.nodePos[x]
 	last := len(w.allNodes) - 1
 	moved := w.allNodes[last]
@@ -399,7 +678,7 @@ func (w *World) unregisterNode(x ids.NodeID) {
 	w.nodePos[moved] = i
 	w.allNodes = w.allNodes[:last]
 	delete(w.nodePos, x)
-	if info.byz {
+	if byz {
 		j := w.byzPos[x]
 		lastB := len(w.byzNodes) - 1
 		movedB := w.byzNodes[lastB]
@@ -410,10 +689,25 @@ func (w *World) unregisterNode(x ids.NodeID) {
 	}
 }
 
+// registerNode inserts a brand-new (or rejoining) node record into the
+// node index and the flat sampling indexes.
+func (w *World) registerNode(x ids.NodeID, byz bool, c ids.ClusterID) {
+	w.setNodeInfo(x, nodeInfo{cluster: c, byz: byz})
+	w.sampleAdd(x, byz)
+}
+
+// unregisterNode removes a node record from the node index and the flat
+// sampling indexes.
+func (w *World) unregisterNode(x ids.NodeID) {
+	info, _ := w.nodeInfoOf(x)
+	w.deleteNodeInfo(x)
+	w.sampleRemove(x, info.byz)
+}
+
 // --- public read accessors ---
 
 // NumNodes returns the current network size n.
-func (w *World) NumNodes() int { return len(w.nodes) }
+func (w *World) NumNodes() int { return len(w.allNodes) }
 
 // NumByzantine returns the number of Byzantine nodes currently present.
 func (w *World) NumByzantine() int { return len(w.byzNodes) }
@@ -423,16 +717,19 @@ func (w *World) Clusters() []ids.ClusterID { return w.overlay.Vertices() }
 
 // ClusterOf returns the cluster containing x.
 func (w *World) ClusterOf(x ids.NodeID) (ids.ClusterID, bool) {
-	info, ok := w.nodes[x]
+	info, ok := w.nodeInfoOf(x)
 	return info.cluster, ok
 }
 
 // IsByzantine reports whether x is adversary-controlled.
-func (w *World) IsByzantine(x ids.NodeID) bool { return w.nodes[x].byz }
+func (w *World) IsByzantine(x ids.NodeID) bool {
+	info, _ := w.nodeInfoOf(x)
+	return info.byz
+}
 
 // Contains reports whether x is currently in the network.
 func (w *World) Contains(x ids.NodeID) bool {
-	_, ok := w.nodes[x]
+	_, ok := w.nodeInfoOf(x)
 	return ok
 }
 
@@ -452,7 +749,7 @@ func (w *World) RandomHonestNode(r *xrand.Rand) (ids.NodeID, bool) {
 	}
 	for {
 		x := w.allNodes[r.Intn(len(w.allNodes))]
-		if !w.nodes[x].byz {
+		if !w.IsByzantine(x) {
 			return x, true
 		}
 	}
@@ -479,14 +776,18 @@ func (w *World) RandomCluster(r *xrand.Rand) (ids.ClusterID, bool) {
 // the 1/3 (degraded) and 1/2 (captured) Byzantine thresholds, maintained
 // incrementally so the check is O(insecure clusters).
 func (w *World) CurrentInsecure() (degraded, captured int) {
-	for _, sec := range w.degraded {
-		switch sec {
-		case randnum.Degraded:
-			degraded++
-		case randnum.Captured:
-			degraded++
-			captured++
+	for _, s := range w.shards {
+		s.mu.RLock()
+		for _, sec := range s.degraded {
+			switch sec {
+			case randnum.Degraded:
+				degraded++
+			case randnum.Captured:
+				degraded++
+				captured++
+			}
 		}
+		s.mu.RUnlock()
 	}
 	return degraded, captured
 }

@@ -75,6 +75,16 @@ func (l *Ledger) AddRounds(r int64) {
 	l.rounds += r
 }
 
+// Merge folds another ledger's totals into this one. The op scheduler
+// charges each planned operation to a private ledger and merges them in
+// operation order, keeping batch totals deterministic under concurrency.
+func (l *Ledger) Merge(other *Ledger) {
+	for c := Class(0); c < numClasses; c++ {
+		l.msgs[c] += other.msgs[c]
+	}
+	l.rounds += other.rounds
+}
+
 // Messages returns the total message count across all classes.
 func (l *Ledger) Messages() int64 {
 	var total int64

@@ -51,6 +51,18 @@ type Config struct {
 	// InstallHijacker wires the adversary's captured-cluster walk
 	// redirection when the strategy exposes a target.
 	InstallHijacker bool
+	// OpsPerStep > 1 switches to the concurrent churn driver: each time
+	// step issues up to OpsPerStep operations as one batch through the
+	// world's op scheduler (core.World.ExecBatch), so non-conflicting
+	// join/leave/exchange work executes concurrently on sharded worlds
+	// (Core.Shards > 1). Results stay deterministic in the seeds at any
+	// shard count. 0 or 1 keeps the classic one-op-per-step driver.
+	// Batched mode does not collect per-operation cost samples
+	// (SampleOpCosts is ignored) and refuses InstallHijacker: the paper's
+	// targeted-attack evaluations (and their recorded baselines) are
+	// defined against the classic serial driver, where the hijacker sees
+	// every walk of every operation in sequence.
+	OpsPerStep int
 }
 
 func (c Config) validate() error {
@@ -62,6 +74,12 @@ func (c Config) validate() error {
 	}
 	if c.Tau < 0 || c.Tau >= 1 {
 		return fmt.Errorf("sim: tau %v outside [0,1)", c.Tau)
+	}
+	if c.OpsPerStep < 0 {
+		return fmt.Errorf("sim: negative OpsPerStep %d", c.OpsPerStep)
+	}
+	if c.OpsPerStep > 1 && c.InstallHijacker {
+		return fmt.Errorf("sim: OpsPerStep=%d is incompatible with InstallHijacker (attack evaluation is defined against the classic serial driver)", c.OpsPerStep)
 	}
 	return nil
 }
@@ -88,6 +106,14 @@ type Result struct {
 	DegradedSteps, CapturedSteps int
 	// PeakSize / TroughSize bracket the realized size trajectory.
 	PeakSize, TroughSize int
+	// BatchedOps / DeferredOps count, in concurrent-driver mode
+	// (OpsPerStep > 1), the operations fed to the scheduler and how many
+	// of them fell to its serial tail (conflicting footprints or
+	// structural splits/merges). SkippedOps counts ops whose victim node
+	// or contact/target cluster was already gone by the time they ran
+	// (e.g. displaced by an earlier tail merge); skipped ops are a subset
+	// of the deferred ones, not a third disjoint bucket.
+	BatchedOps, DeferredOps, SkippedOps int
 }
 
 // Runner executes a configured simulation.
@@ -172,7 +198,13 @@ func (r *Runner) Run() (*Result, error) {
 	minSize := r.minimumSize()
 
 	for step := 0; step < r.cfg.Steps; step++ {
-		if err := r.step(step, minSize, res); err != nil {
+		var err error
+		if r.cfg.OpsPerStep > 1 {
+			err = r.stepBatch(step, minSize, res)
+		} else {
+			err = r.step(step, minSize, res)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("sim: step %d: %w", step, err)
 		}
 		n := r.world.NumNodes()
@@ -287,6 +319,118 @@ func (r *Runner) step(step, minSize int, res *Result) error {
 		// Nothing to do this step.
 	default:
 		return fmt.Errorf("sim: unknown op kind %d", op.Kind)
+	}
+	return nil
+}
+
+// stepBatch is one concurrent-driver time step (OpsPerStep > 1): drain
+// pending rejoins first (classic and serial — they reuse reserved
+// identities), otherwise let the strategy decide up to OpsPerStep
+// operations against the step-boundary state — the adversary's view in
+// the paper's model — and execute them as one batch through the world's
+// op scheduler. Victims are deduplicated within the step; a victim that
+// still vanishes before its sub-operation runs (displaced by an earlier
+// tail merge) is counted as skipped, not fatal.
+func (r *Runner) stepBatch(step, minSize int, res *Result) error {
+	r.rejoins = append(r.rejoins, r.world.PendingRejoins()...)
+	if len(r.rejoins) > 0 {
+		k := r.cfg.OpsPerStep
+		if k > len(r.rejoins) {
+			k = len(r.rejoins)
+		}
+		for i := 0; i < k; i++ {
+			if err := r.world.Rejoin(r.rejoins[i]); err != nil {
+				return err
+			}
+		}
+		r.rejoins = r.rejoins[k:]
+		return nil
+	}
+
+	target := r.schedule.TargetSize(step)
+	if target > r.cfg.Core.N {
+		target = r.cfg.Core.N
+	}
+	if target < minSize {
+		target = minSize
+	}
+
+	startN := r.world.NumNodes()
+	projN := startN
+	joins := 0
+	victims := make(map[ids.NodeID]bool)
+	ops := make([]core.Op, 0, r.cfg.OpsPerStep)
+	for tries := 0; len(ops) < r.cfg.OpsPerStep && tries < 4*r.cfg.OpsPerStep; tries++ {
+		var dir adversary.Direction
+		switch {
+		case target > projN:
+			dir = adversary.Grow
+		case target < projN:
+			dir = adversary.Shrink
+		default:
+			// Steady state: keep churning without net growth.
+			if r.rng.Bool(0.5) && projN < r.cfg.Core.N {
+				dir = adversary.Grow
+			} else {
+				dir = adversary.Shrink
+			}
+		}
+		// Hard clamps at the model boundary, projected through the batch.
+		if projN >= r.cfg.Core.N {
+			dir = adversary.Shrink
+		}
+		if projN <= minSize {
+			dir = adversary.Grow
+		}
+
+		op := r.strategy.Decide(r.world, r.rng, dir)
+		switch op.Kind {
+		case adversary.OpJoin:
+			// Hard N bound without leave credit: a planned leave can still
+			// be skipped (victim displaced by a tail merge), so joins are
+			// admitted only against the step-start population. The classic
+			// driver enforces n <= N against the live count; this is the
+			// batched equivalent.
+			if startN+joins >= r.cfg.Core.N {
+				continue
+			}
+			cop := core.Op{Kind: core.OpJoin, Byz: op.Byz}
+			if op.HasContact {
+				cop.Contact, cop.HasContact = op.Contact, true
+			}
+			ops = append(ops, cop)
+			joins++
+			projN++
+		case adversary.OpLeave:
+			if victims[op.Victim] {
+				continue // already departing this step; re-draw
+			}
+			victims[op.Victim] = true
+			ops = append(ops, core.Op{Kind: core.OpLeave, Victim: op.Victim})
+			projN--
+		case adversary.OpNoop:
+			// Nothing decided for this slot.
+		default:
+			return fmt.Errorf("sim: unknown op kind %d", op.Kind)
+		}
+	}
+
+	results := r.world.ExecBatch(ops)
+	res.BatchedOps += len(ops)
+	for _, rr := range results {
+		if rr.Deferred {
+			res.DeferredOps++
+		}
+		if rr.Err != nil {
+			// A victim or contact/target cluster can legitimately vanish
+			// mid-batch (displaced by an earlier tail merge): skip, don't
+			// abort.
+			if core.IsUnknownNode(rr.Err) || core.IsUnknownCluster(rr.Err) {
+				res.SkippedOps++
+				continue
+			}
+			return rr.Err
+		}
 	}
 	return nil
 }

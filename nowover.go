@@ -77,6 +77,25 @@ const (
 	MergeRejoinAll    = core.MergeRejoinAll
 )
 
+// Op scheduler types: batches of operations executed concurrently inside
+// one world when its state is sharded (Config.Shards > 1, or
+// SetWorldShards). See core.World.ExecBatch.
+type (
+	// WorldOp is one schedulable operation (join / leave / exchange).
+	WorldOp = core.Op
+	// WorldOpResult reports a scheduled operation's outcome.
+	WorldOpResult = core.OpResult
+	// WorldOpKind discriminates schedulable operations.
+	WorldOpKind = core.OpKind
+)
+
+// Schedulable operation kinds.
+const (
+	WorldOpJoin     = core.OpJoin
+	WorldOpLeave    = core.OpLeave
+	WorldOpExchange = core.OpExchange
+)
+
 // Security levels.
 const (
 	Secure   = randnum.Secure
@@ -163,6 +182,17 @@ func ForEachRun(count int, body func(i int) error) error {
 	return experiments.ForEach(count, body)
 }
 
+// SetWorldShards fixes the default number of lockable state segments for
+// worlds whose Config.Shards is zero: 1 (the default) keeps the fully
+// serial layout, n > 1 lets one world execute non-conflicting operations
+// concurrently via ExecBatch / SimConfig.OpsPerStep. Results are
+// deterministic in the seeds at ANY shard count; only wall-clock changes.
+// Worlds created before the call are unaffected.
+func SetWorldShards(n int) { core.SetDefaultShards(n) }
+
+// WorldShards reports the default shard count currently in effect.
+func WorldShards() int { return core.DefaultShards() }
+
 // QuickScale is the CI-sized experiment scale.
 func QuickScale() ExperimentScale { return experiments.QuickScale() }
 
@@ -228,6 +258,18 @@ func (s *System) JoinAuto(byzantine bool) (NodeID, error) {
 
 // Leave executes the Leave operation for node x.
 func (s *System) Leave(x NodeID) error { return s.world.Leave(x) }
+
+// ExecBatch executes a batch of operations — one time step with multiple
+// simultaneous arrivals and departures — through the world's op scheduler.
+// On a sharded world (Config.Shards > 1) operations with disjoint cluster
+// footprints run concurrently; results are deterministic in the seed
+// regardless of the shard count.
+func (s *System) ExecBatch(ops []WorldOp) []WorldOpResult { return s.world.ExecBatch(ops) }
+
+// CheckInvariants verifies the global consistency invariants the protocol
+// maintains (membership partition, Byzantine counters, size bounds,
+// overlay/partition correspondence); nil means all hold.
+func (s *System) CheckInvariants() error { return core.CheckInvariants(s.world) }
 
 // Audit returns the invariant snapshot.
 func (s *System) Audit() Audit { return s.world.Audit() }

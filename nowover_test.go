@@ -187,3 +187,43 @@ func TestAdvancedWorldAccess(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestExecBatchFacade(t *testing.T) {
+	prev := nowover.WorldShards()
+	nowover.SetWorldShards(8)
+	defer nowover.SetWorldShards(prev)
+
+	cfg := nowover.DefaultConfig(512) // Shards=0: picks up the default above
+	sys, err := nowover.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Bootstrap(200, nowover.FractionCorrupt(200, 0.2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.World().ShardCount(); got != 8 {
+		t.Fatalf("world has %d shards, want 8 from SetWorldShards", got)
+	}
+	before := sys.NumNodes()
+	res := sys.ExecBatch([]nowover.WorldOp{
+		{Kind: nowover.WorldOpJoin},
+		{Kind: nowover.WorldOpJoin, Byz: true},
+	})
+	for i, rr := range res {
+		if rr.Err != nil {
+			t.Fatalf("batch op %d: %v", i, rr.Err)
+		}
+	}
+	if sys.NumNodes() != before+2 {
+		t.Fatalf("population %d after 2 joins, want %d", sys.NumNodes(), before+2)
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Leave(res[0].Node); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
