@@ -10,9 +10,11 @@
 //	nowbench -csv out/        # also write CSV files
 //	nowbench -parallel 1      # force the serial runner (default: GOMAXPROCS)
 //
-// Independent experiment cells run on a worker pool sized by -parallel
-// (or the NOWBENCH_PARALLEL environment variable when the flag is 0);
-// tables are byte-identical at any parallelism.
+// Both the selected experiments AND each experiment's independent cells
+// fan out across a worker pool sized by -parallel (or the
+// NOWBENCH_PARALLEL environment variable when the flag is 0), so E1-E12
+// run concurrently while rendering stays in ID order; tables are
+// byte-identical at any parallelism.
 package main
 
 import (
@@ -41,12 +43,15 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		parallel = flag.Int("parallel", 0, "experiment worker count: 1 = serial, 0 = auto (NOWBENCH_PARALLEL, then GOMAXPROCS)")
 		shards   = flag.Int("world-shards", 1, "lockable state segments per experiment world (tables are byte-identical at any value; the harness drives ops serially, so this exercises the sharded layout rather than speeding tables up)")
+		grouped  = flag.Bool("grouped-cascade", false, "batch leave cascades into one grouped shuffle round per leave (~|C| write footprint instead of ~|C|^2; changes measured costs, tables stay deterministic)")
 	)
 	flag.Parse()
 
 	nowover.SetParallelism(*parallel)
 	nowover.SetWorldShards(*shards)
-	fmt.Printf("nowbench: %d worker(s), %d world shard(s)\n\n", nowover.Parallelism(), nowover.WorldShards())
+	nowover.SetGroupedCascade(*grouped)
+	fmt.Printf("nowbench: %d worker(s), %d world shard(s), grouped-cascade=%v\n\n",
+		nowover.Parallelism(), nowover.WorldShards(), nowover.GroupedCascade())
 
 	scale := nowover.QuickScale()
 	if *full {
@@ -75,22 +80,26 @@ func run() error {
 		}
 	}
 
-	for _, id := range selected {
-		start := time.Now()
-		table, err := registry[id](scale)
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		if err := table.Render(os.Stdout); err != nil {
+	// Fan the selected experiments across the worker pool — on top of the
+	// per-cell fan-out inside each experiment — so one experiment's serial
+	// head/tail overlaps another's cells. Tables come back positionally
+	// aligned with the selection and are rendered in ID order, so output
+	// is byte-identical to a serial sweep at any parallelism.
+	sweepStart := time.Now()
+	tables, err := nowover.RunExperiments(selected, scale)
+	if err != nil {
+		return err
+	}
+	for i, id := range selected {
+		if err := tables[i].Render(os.Stdout); err != nil {
 			return err
 		}
-		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		if *csvDir != "" {
 			f, err := os.Create(filepath.Join(*csvDir, id+".csv"))
 			if err != nil {
 				return err
 			}
-			werr := table.CSV(f)
+			werr := tables[i].CSV(f)
 			cerr := f.Close()
 			if werr != nil {
 				return werr
@@ -100,5 +109,6 @@ func run() error {
 			}
 		}
 	}
+	fmt.Printf("(%d experiment(s) completed in %v)\n", len(selected), time.Since(sweepStart).Round(time.Millisecond))
 	return nil
 }

@@ -48,6 +48,7 @@ func run() error {
 		parallel   = flag.Int("parallel", 0, "worker count for -runs: 1 = serial, 0 = auto (NOWBENCH_PARALLEL, then GOMAXPROCS)")
 		shards     = flag.Int("world-shards", 1, "lockable world-state segments: 1 = serial layout, n > 1 enables intra-world concurrency (results identical at any value)")
 		opsPerStep = flag.Int("ops-per-step", 1, "operations per time step: > 1 batches them through the concurrent op scheduler (incompatible with -attack hijacking)")
+		grouped    = flag.Bool("grouped-cascade", false, "batch each leave's cascade into one grouped shuffle round over the receiver set (~|C| write footprint instead of ~|C|^2)")
 	)
 	flag.Parse()
 
@@ -85,6 +86,7 @@ func run() error {
 		cfg.Core.Seed = runSeed
 		cfg.Core.K = *k
 		cfg.Core.Shards = *shards
+		cfg.Core.GroupedCascade = *grouped
 		cfg.OpsPerStep = *opsPerStep
 		if *noShuffle {
 			cfg.Core.ExchangeOnJoin = false
@@ -137,8 +139,8 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("nowsim: N=%d n0=%d tau=%.2f K=%.1f steps=%d schedule=%s attack=%s shuffle=%v merge=%s shards=%d ops/step=%d\n",
-		*maxN, *n0, *tau, *k, *steps, *schedule, *attack, !*noShuffle, *merge, *shards, *opsPerStep)
+	fmt.Printf("nowsim: N=%d n0=%d tau=%.2f K=%.1f steps=%d schedule=%s attack=%s shuffle=%v merge=%s shards=%d ops/step=%d grouped-cascade=%v\n",
+		*maxN, *n0, *tau, *k, *steps, *schedule, *attack, !*noShuffle, *merge, *shards, *opsPerStep, *grouped)
 	fmt.Printf("cluster size target %d (split >%d, merge <%d), overlay degree target %d (cap %d)\n\n",
 		refCfg.Core.TargetClusterSize(), refCfg.Core.SplitThreshold(), refCfg.Core.MergeThreshold(),
 		refCfg.Core.TargetDegree(), refCfg.Core.DegreeCap())

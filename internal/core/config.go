@@ -92,6 +92,15 @@ type Config struct {
 	// the Theorem 3 proof ("we enforce C' to exchange all its nodes").
 	// Disabling it is an ablation.
 	LeaveCascade bool
+	// GroupedCascade batches the leave cascade into ONE grouped shuffle
+	// round over the receiver set — one swap per receiver, partners drawn
+	// from the round's own pool, all draws on one stream (see
+	// exchange.CascadeRound) — instead of a full exchange per receiver,
+	// shrinking a leave's write footprint from ~|C|^2 to ~|C| clusters
+	// and its round cost by the cluster size. Cascade traffic is charged
+	// to metrics.ClassCascade. Only meaningful with LeaveCascade; false
+	// keeps Algorithm 2's per-receiver cascade byte-identically.
+	GroupedCascade bool
 	// ExchangeOnJoin enables the full-cluster exchange after an insertion
 	// (section 3.3 Join). Disabling it is an ablation that reproduces the
 	// attack motivating shuffling.
@@ -118,8 +127,12 @@ type Config struct {
 }
 
 // DefaultConfig returns paper-faithful parameters for maximum size n.
+// GroupedCascade defaults to the paper's per-receiver cascade unless the
+// package default was flipped with SetDefaultGroupedCascade (the harness
+// knob behind the nowbench/nowsim -grouped-cascade flags).
 func DefaultConfig(maxN int) Config {
 	return Config{
+		GroupedCascade:     DefaultGroupedCascade(),
 		N:                  maxN,
 		Seed:               1,
 		K:                  2,

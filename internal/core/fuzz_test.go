@@ -4,13 +4,20 @@ import (
 	"testing"
 )
 
-// FuzzWorldOps feeds fuzzer-chosen operation scripts through BOTH a
-// serial-layout (Shards=1) and a sharded (Shards=8) world and asserts,
-// after every scheduler batch, that (a) the full invariant layer holds in
-// both and (b) the two worlds are in bit-identical protocol states. The
-// script drives joins, leaves, forced exchanges and allegiance flips;
-// splits, merges and transfers are exercised through the operations that
-// trigger them, including on the scheduler's serial tail.
+// FuzzWorldOps feeds fuzzer-chosen operation scripts through FOUR worlds:
+// a serial-layout (Shards=1) and a sharded (Shards=8) world in each of
+// the two cascade modes (per-receiver and grouped). After every scheduler
+// batch it asserts that (a) the full invariant layer holds in all four
+// and (b) each serial/sharded pair is in bit-identical protocol state —
+// the classic pair exactly as before, the grouped pair pinning the
+// grouped cascade's serial-vs-sharded lockstep under adversarial
+// scripts. The two modes legitimately diverge from EACH OTHER (grouping
+// changes which swaps happen), so cross-mode equality is not asserted;
+// an op that targets a node/cluster present only in one mode's state is
+// tolerated per pair as long as the pair agrees. The script drives
+// joins, leaves, forced exchanges and allegiance flips; splits, merges
+// and transfers are exercised through the operations that trigger them,
+// including on the scheduler's serial tail (see seed-cascade-into-merge).
 //
 // Script encoding (one byte per instruction, wrapping reads for params):
 //
@@ -25,13 +32,17 @@ func FuzzWorldOps(f *testing.F) {
 	f.Add(uint64(42), []byte{2, 9, 2, 17, 2, 33, 4, 0, 0, 0, 0, 4, 5, 8, 4})
 	f.Add(uint64(0xC0FFEE), []byte{3, 1, 3, 2, 4, 2, 250, 0, 64, 4, 2, 7, 2, 8, 2, 9, 4})
 	f.Fuzz(func(t *testing.T, seed uint64, script []byte) {
-		if len(script) > 64 {
-			script = script[:64]
+		// 128 bytes is enough churn to force merges from the bootstrap
+		// population (see seed-cascade-into-merge) while keeping one
+		// input's four-world replay cheap.
+		if len(script) > 128 {
+			script = script[:128]
 		}
-		mk := func(shards int) *World {
+		mk := func(shards int, grouped bool) *World {
 			cfg := DefaultConfig(256)
 			cfg.Seed = seed
 			cfg.Shards = shards
+			cfg.GroupedCascade = grouped
 			w, err := NewWorld(cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -41,7 +52,15 @@ func FuzzWorldOps(f *testing.F) {
 			}
 			return w
 		}
-		w1, w8 := mk(1), mk(8)
+		type lockstep struct {
+			name   string
+			s1, s8 *World
+		}
+		pairs := []lockstep{
+			{"per-receiver", mk(1, false), mk(8, false)},
+			{"grouped", mk(1, true), mk(8, true)},
+		}
+		w1 := pairs[0].s1 // the script's reference state
 		minPop := 2 * w1.Config().TargetClusterSize()
 
 		var pending []Op
@@ -58,27 +77,29 @@ func FuzzWorldOps(f *testing.F) {
 			if len(pending) == 0 {
 				return
 			}
-			r1 := w1.ExecBatch(pending)
-			r8 := w8.ExecBatch(pending)
-			for j := range r1 {
-				if r1[j].Err != nil && !IsUnknownNode(r1[j].Err) && !IsUnknownCluster(r1[j].Err) {
-					t.Fatalf("serial op %d: %v", j, r1[j].Err)
+			for _, p := range pairs {
+				r1 := p.s1.ExecBatch(pending)
+				r8 := p.s8.ExecBatch(pending)
+				for j := range r1 {
+					if r1[j].Err != nil && !IsUnknownNode(r1[j].Err) && !IsUnknownCluster(r1[j].Err) {
+						t.Fatalf("%s serial op %d: %v", p.name, j, r1[j].Err)
+					}
+					if (r1[j].Err == nil) != (r8[j].Err == nil) || r1[j].Node != r8[j].Node || r1[j].Deferred != r8[j].Deferred {
+						t.Fatalf("%s op %d diverged: serial=%+v sharded=%+v", p.name, j, r1[j], r8[j])
+					}
 				}
-				if (r1[j].Err == nil) != (r8[j].Err == nil) || r1[j].Node != r8[j].Node || r1[j].Deferred != r8[j].Deferred {
-					t.Fatalf("op %d diverged: serial=%+v sharded=%+v", j, r1[j], r8[j])
+				if err := CheckInvariants(p.s1); err != nil {
+					t.Fatalf("%s serial invariants: %v", p.name, err)
+				}
+				if err := CheckInvariants(p.s8); err != nil {
+					t.Fatalf("%s sharded invariants: %v", p.name, err)
+				}
+				if a, b := worldFingerprint(p.s1), worldFingerprint(p.s8); a != b {
+					t.Fatalf("%s states diverged:\n--- serial ---\n%s\n--- sharded ---\n%s", p.name, a, b)
 				}
 			}
 			pending = pending[:0]
 			victims = make(map[uint64]bool)
-			if err := CheckInvariants(w1); err != nil {
-				t.Fatalf("serial invariants: %v", err)
-			}
-			if err := CheckInvariants(w8); err != nil {
-				t.Fatalf("sharded invariants: %v", err)
-			}
-			if a, b := worldFingerprint(w1), worldFingerprint(w8); a != b {
-				t.Fatalf("states diverged:\n--- serial ---\n%s\n--- sharded ---\n%s", a, b)
-			}
 		}
 
 		projN := w1.NumNodes()
@@ -119,16 +140,25 @@ func FuzzWorldOps(f *testing.F) {
 				}
 				idx := int(next(&i)) % w1.NumNodes()
 				x := w1.allNodes[idx]
-				corrupted := !w1.IsByzantine(x)
-				// Keep the tau regime: never corrupt past ~1/3.
-				if corrupted && 3*(w1.NumByzantine()+1) > w1.NumNodes() {
-					continue
-				}
-				if err := w1.SetCorrupted(x, corrupted); err != nil {
-					t.Fatal(err)
-				}
-				if err := w8.SetCorrupted(x, corrupted); err != nil {
-					t.Fatal(err)
+				for _, p := range pairs {
+					// The node may have already departed the other mode's
+					// state (a leave that failed there); both worlds of a
+					// pair agree, so the flip is applied or skipped
+					// pair-consistently.
+					if !p.s1.Contains(x) {
+						continue
+					}
+					corrupted := !p.s1.IsByzantine(x)
+					// Keep the tau regime: never corrupt past ~1/3.
+					if corrupted && 3*(p.s1.NumByzantine()+1) > p.s1.NumNodes() {
+						continue
+					}
+					if err := p.s1.SetCorrupted(x, corrupted); err != nil {
+						t.Fatal(err)
+					}
+					if err := p.s8.SetCorrupted(x, corrupted); err != nil {
+						t.Fatal(err)
+					}
 				}
 			}
 		}

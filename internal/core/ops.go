@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"nowover/internal/exchange"
 	"nowover/internal/ids"
 	"nowover/internal/metrics"
 	"nowover/internal/randnum"
@@ -216,8 +217,10 @@ func chargeDeparture(t walk.Topology, led *metrics.Ledger, c ids.ClusterID) {
 
 // Leave executes the paper's Leave operation (Algorithm 2): the cluster
 // detects the departure, exchanges all its nodes, cascades an exchange
-// onto every cluster that received one of them, and merges if it fell
-// below the threshold.
+// onto every cluster that received one of them (or, under
+// Config.GroupedCascade, one grouped shuffle round over the whole
+// receiver set — see exchange.CascadeRound), and merges if it fell below
+// the threshold.
 func (w *World) Leave(x ids.NodeID) error {
 	return w.leaveWith(w.led, w.rng, x, true)
 }
@@ -256,16 +259,11 @@ func (w *World) leaveWith(led *metrics.Ledger, rng *xrand.Rand, x ids.NodeID, se
 		}
 		w.stats.HijackedWalks += int64(rep.Hijacked)
 		if w.cfg.LeaveCascade {
-			for _, recv := range rep.Receivers {
-				if !w.hasCluster(recv) {
-					continue
-				}
-				crep, err := w.exch.Run(led, rng, recv)
-				if err != nil {
-					return fmt.Errorf("core: leave cascade exchange: %w", err)
-				}
-				w.stats.HijackedWalks += int64(crep.Hijacked)
+			hijacked, err := runLeaveCascade(w.cfg.GroupedCascade, w.exch, w, led, rng, c, rep.Receivers)
+			if err != nil {
+				return err
 			}
+			w.stats.HijackedWalks += hijacked
 		}
 	}
 	if w.Size(c) < w.cfg.MergeThreshold() {
@@ -278,6 +276,38 @@ func (w *World) leaveWith(led *metrics.Ledger, rng *xrand.Rand, x ids.NodeID, se
 		w.settleSecurity()
 	}
 	return nil
+}
+
+// runLeaveCascade executes the configured cascade flavor over the primary
+// leave exchange's receivers: Algorithm 2's full exchange per receiver,
+// or — under Config.GroupedCascade — one grouped shuffle round over the
+// whole set (exchange.CascadeRound: the round's swaps stay inside
+// {source} ∪ receivers, so a leave's write footprint stays ~|C| clusters
+// instead of ~|C|^2). It is shared between the classic serial path
+// (leaveWith, t = the world) and the op scheduler's leave plan (planLeave,
+// t = the planView) so the two paths stay draw-for-draw identical — the
+// serial/sharded lockstep contract (TestGroupedCascadeMatchesSerial)
+// depends on it. Returns the hijacked-walk count to fold into stats.
+func runLeaveCascade(grouped bool, exch *exchange.Exchanger, t walk.Topology, led *metrics.Ledger, rng *xrand.Rand, c ids.ClusterID, receivers []ids.ClusterID) (int64, error) {
+	if grouped {
+		rep, err := exch.CascadeRound(led, rng, c, receivers)
+		if err != nil {
+			return 0, fmt.Errorf("core: leave cascade round: %w", err)
+		}
+		return int64(rep.Hijacked), nil
+	}
+	var hijacked int64
+	for _, recv := range receivers {
+		if t.Size(recv) == 0 {
+			continue // receiver dissolved (clusters are never empty)
+		}
+		rep, err := exch.Run(led, rng, recv)
+		if err != nil {
+			return hijacked, fmt.Errorf("core: leave cascade exchange: %w", err)
+		}
+		hijacked += int64(rep.Hijacked)
+	}
+	return hijacked, nil
 }
 
 // ForceExchange runs the exchange primitive on a cluster outside the

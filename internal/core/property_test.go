@@ -78,6 +78,129 @@ func TestRandomOpScriptsPreserveConsistency(t *testing.T) {
 	}
 }
 
+// TestGroupedCascadePreservesBounds is the cascade-equivalence property
+// test: over randomized join/leave/exchange sequences, post-cascade
+// cluster compositions under grouped shuffling must still satisfy the
+// structural bounds the Lemma 1-3 analysis rests on — every node in
+// exactly one cluster, Byzantine counters exact, sizes inside the
+// [merge, split] window, overlay == cluster set — as checked by
+// core.CheckInvariants, in BOTH execution modes: the classic serial API
+// on a Shards=1 world and the op scheduler (ExecBatch) on a Shards=8
+// world. The two modes draw different streams by design (per-op
+// substreams vs one shared stream), so the property is checked
+// independently per mode rather than by fingerprint equality; the
+// fixed-stream lockstep regression is TestGroupedCascadeMatchesSerial.
+func TestGroupedCascadePreservesBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	mk := func(seed uint64, shards int) (*World, error) {
+		cfg := DefaultConfig(512)
+		cfg.Seed = seed
+		cfg.Shards = shards
+		cfg.GroupedCascade = true
+		w, err := NewWorld(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return w, w.Bootstrap(200, func(slot int) bool { return slot%5 == 0 })
+	}
+	check := func(seed uint64, script []byte) bool {
+		serial, err := mk(seed, 1)
+		if err != nil {
+			return false
+		}
+		sharded, err := mk(seed^0xCA5CADE, 8)
+		if err != nil {
+			return false
+		}
+		r := xrand.New(seed ^ 0xF00D)
+		if len(script) > 48 {
+			script = script[:48]
+		}
+		minPop := 2 * serial.Config().TargetClusterSize()
+		var pending []Op
+		victims := make(ids.NodeSet)
+		for _, op := range script {
+			// Serial mode: one classic op per script byte.
+			switch op % 4 {
+			case 0, 1:
+				if serial.NumNodes() < serial.Config().N {
+					if _, err := serial.JoinAuto(op&8 != 0); err != nil {
+						t.Logf("serial join: %v", err)
+						return false
+					}
+				}
+			case 2:
+				if serial.NumNodes() > minPop {
+					if x, ok := serial.RandomNode(r); ok {
+						if err := serial.Leave(x); err != nil {
+							t.Logf("serial leave: %v", err)
+							return false
+						}
+					}
+				}
+			case 3:
+				if c, ok := serial.RandomCluster(r); ok {
+					if err := serial.ForceExchange(c); err != nil {
+						t.Logf("serial exchange: %v", err)
+						return false
+					}
+				}
+			}
+			if err := CheckInvariants(serial); err != nil {
+				t.Logf("serial invariants: %v", err)
+				return false
+			}
+			// Sharded mode: the same script byte queues a scheduler op;
+			// every fourth byte flushes the batch.
+			switch op % 4 {
+			case 0, 1:
+				pending = append(pending, Op{Kind: OpJoin, Byz: op&8 != 0})
+			case 2:
+				if sharded.NumNodes()-len(pending) > minPop {
+					if x, ok := sharded.RandomNode(r); ok && victims.Add(x) {
+						pending = append(pending, Op{Kind: OpLeave, Victim: x})
+					}
+				}
+			case 3:
+				if c, ok := sharded.RandomCluster(r); ok {
+					pending = append(pending, Op{Kind: OpExchange, Target: c})
+				}
+			}
+			if len(pending) >= 4 {
+				for _, rr := range sharded.ExecBatch(pending) {
+					if rr.Err != nil && !IsUnknownNode(rr.Err) && !IsUnknownCluster(rr.Err) {
+						t.Logf("sharded op: %v", rr.Err)
+						return false
+					}
+				}
+				pending = pending[:0]
+				victims = make(ids.NodeSet)
+				if err := CheckInvariants(sharded); err != nil {
+					t.Logf("sharded invariants: %v", err)
+					return false
+				}
+			}
+		}
+		for _, w := range []*World{serial, sharded} {
+			a := w.Audit()
+			if a.MaxSize > w.Config().SplitThreshold() {
+				t.Logf("size bound violated: %+v", a)
+				return false
+			}
+			if !a.OverlayConnected {
+				t.Logf("overlay disconnected: %+v", a)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestExchangeIsPopulationPermutation: any number of forced exchanges is a
 // permutation of the node population — nothing created, lost, or
 // duplicated, and Byzantine count invariant.

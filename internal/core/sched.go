@@ -434,14 +434,23 @@ func (w *World) planLeave(p *batchPlan, v *planView, exch *exchange.Exchanger, r
 		}
 		p.stats.HijackedWalks += int64(rep.Hijacked)
 		if w.cfg.LeaveCascade {
-			for _, recv := range rep.Receivers {
-				crep, err := exch.Run(p.led, rng, recv)
-				if err != nil {
-					p.err = fmt.Errorf("core: leave cascade exchange: %w", err)
-					return
-				}
-				p.stats.HijackedWalks += int64(crep.Hijacked)
+			// The cascade plan (shared with the classic path via
+			// runLeaveCascade): receivers are enumerated from the
+			// pre-batch snapshot and every draw comes from this op's
+			// substream. Cascade writes land in the plan's footprint like
+			// any other transfer and are applied under the shard locks in
+			// op order — and under GroupedCascade the round swaps WITHIN
+			// the clusters the primary exchange already wrote, so the
+			// leave's write footprint stays ~|C| clusters instead of the
+			// ~|C|^2 the per-receiver cascade accumulates. That footprint
+			// drop is what lets full-density leave batches pass admission
+			// (see BenchmarkShardedWorldBatch's cascade regime).
+			hijacked, err := runLeaveCascade(w.cfg.GroupedCascade, exch, v, p.led, rng, c, rep.Receivers)
+			if err != nil {
+				p.err = err
+				return
 			}
+			p.stats.HijackedWalks += hijacked
 		}
 	}
 	if v.Size(c) < w.cfg.MergeThreshold() {

@@ -267,6 +267,22 @@ func DefaultShards() int {
 	return 1
 }
 
+// defaultGroupedCascade is the package-level default for
+// Config.GroupedCascade, applied by DefaultConfig; see
+// SetDefaultGroupedCascade.
+var defaultGroupedCascade atomic.Bool
+
+// SetDefaultGroupedCascade fixes whether configurations built by
+// DefaultConfig run the leave cascade as one grouped shuffle round (true)
+// or as Algorithm 2's per-receiver full exchanges (false, the paper
+// default). It is the harness-wide knob behind the nowbench/nowsim
+// -grouped-cascade flags; worlds built from an explicit Config are
+// unaffected.
+func SetDefaultGroupedCascade(on bool) { defaultGroupedCascade.Store(on) }
+
+// DefaultGroupedCascade reports the package default cascade mode.
+func DefaultGroupedCascade() bool { return defaultGroupedCascade.Load() }
+
 // World is the complete NOW protocol state. Cluster-keyed state is
 // partitioned across Config.Shards lockable segments so the op scheduler
 // (ExecBatch) can execute operations with disjoint cluster footprints

@@ -40,8 +40,11 @@ type World interface {
 
 // Report summarizes one exchange operation.
 type Report struct {
-	Swaps     int // completed swaps with a distinct partner cluster
-	SelfSwaps int // walks that ended at C itself (no movement)
+	Swaps int // completed swaps with a distinct partner cluster
+	// SelfSwaps counts swap slots that produced no movement: in Run,
+	// walks that ended at C itself; in CascadeRound, receivers with an
+	// empty partner pool (no walk was spent).
+	SelfSwaps int
 	Hops      int // total walk hops across all swaps
 	Hijacked  int // walks redirected by the adversary
 	// Receivers lists the distinct partner clusters that received a node
@@ -120,16 +123,131 @@ func (e *Exchanger) Run(led *metrics.Ledger, r *xrand.Rand, c ids.ClusterID) (Re
 	return rep, nil
 }
 
+// CascadeRound runs the leave cascade as ONE grouped shuffle round over
+// the receiver set, instead of one full exchange per receiver: every
+// receiver agrees (randNum) on one of its own members to re-export and on
+// a partner drawn uniformly from the round's own pool — the other
+// receivers plus the leave's source cluster — whose agreed member swaps
+// back. All draws come from the one provided rng substream in receiver
+// order, so the round is a deterministic function of (state, source,
+// receivers, stream).
+//
+// This is the diffusion-style amortization of Algorithm 2's cascade. The
+// pool is itself a fresh uniform sample: each receiver was selected by an
+// independent biased CTRW of the source's exchange moments earlier, so a
+// uniform draw over the pool composes two uniform draws and the re-export
+// still lands ~uniformly over the network — while the adversary's
+// knowledge of which receiver holds which exported node is destroyed,
+// which is what the Theorem 3 proof step needs the cascade for. What the
+// grouping buys: the per-leave write footprint shrinks from ~|C|^2
+// clusters (every receiver exchanging ALL its nodes network-wide) to ~|C|
+// (the round's writes stay INSIDE the set the primary exchange already
+// wrote), no fresh walks are spent, and the round costs two communication
+// rounds total rather than two per swap — the swaps are simultaneous,
+// exactly like the simultaneous operations of one paper time step. Swap
+// traffic is charged to metrics.ClassCascade so cascade cost stays
+// separable from primary-exchange cost.
+//
+// The returned Report's Receivers lists the partner clusters of the round
+// (callers must NOT cascade onto them again — the round IS the cascade).
+func (e *Exchanger) CascadeRound(led *metrics.Ledger, r *xrand.Rand, source ids.ClusterID, receivers []ids.ClusterID) (Report, error) {
+	rep := Report{}
+	seen := make(map[ids.ClusterID]bool)
+	for i, rc := range receivers {
+		if e.world.Size(rc) == 0 {
+			continue // receiver dissolved between exchange and cascade
+		}
+		// The swap pool: the source plus every OTHER live receiver, in
+		// round order (deterministic at any shard count).
+		pool := make([]ids.ClusterID, 0, len(receivers))
+		if e.world.Size(source) > 0 && source != rc {
+			pool = append(pool, source)
+		}
+		for j, other := range receivers {
+			if j != i && other != rc && e.world.Size(other) > 0 {
+				pool = append(pool, other)
+			}
+		}
+		if len(pool) == 0 {
+			rep.SelfSwaps++ // lone receiver of its own source: nothing to mix with
+			continue
+		}
+		// The receiver agrees on the partner and on which member to
+		// re-export; the partner agrees on the replacement, as in Run.
+		pick, sec, err := e.gen.Draw(led, r, randnum.Params{
+			Size: e.world.Size(rc),
+			Byz:  e.world.Byz(rc),
+			R:    int64(len(pool)),
+		}, nil)
+		if err != nil {
+			return rep, fmt.Errorf("exchange: cascade partner pick at %v: %w", rc, err)
+		}
+		if sec > rep.WorstSecurity {
+			rep.WorstSecurity = sec
+		}
+		partner := pool[int(pick)]
+		idx, sec, err := e.gen.Draw(led, r, randnum.Params{
+			Size: e.world.Size(rc),
+			Byz:  e.world.Byz(rc),
+			R:    int64(e.world.Size(rc)),
+		}, nil)
+		if err != nil {
+			return rep, fmt.Errorf("exchange: cascade draw at %v: %w", rc, err)
+		}
+		if sec > rep.WorstSecurity {
+			rep.WorstSecurity = sec
+		}
+		x := e.world.MemberAt(rc, int(idx))
+		pidx, psec, err := e.gen.Draw(led, r, randnum.Params{
+			Size: e.world.Size(partner),
+			Byz:  e.world.Byz(partner),
+			R:    int64(e.world.Size(partner)),
+		}, nil)
+		if err != nil {
+			return rep, fmt.Errorf("exchange: cascade partner draw at %v: %w", partner, err)
+		}
+		if psec > rep.WorstSecurity {
+			rep.WorstSecurity = psec
+		}
+		y := e.world.MemberAt(partner, int(pidx))
+		if err := e.world.Transfer(x, rc, partner); err != nil {
+			return rep, fmt.Errorf("exchange: cascade: %w", err)
+		}
+		if err := e.world.Transfer(y, partner, rc); err != nil {
+			return rep, fmt.Errorf("exchange: cascade: %w", err)
+		}
+		e.chargeSwapClass(led, rc, partner, metrics.ClassCascade, false)
+		rep.Swaps++
+		if !seen[partner] {
+			seen[partner] = true
+			rep.Receivers = append(rep.Receivers, partner)
+		}
+	}
+	if rep.Swaps > 0 {
+		led.AddRounds(2) // one grouped round: swaps are simultaneous
+	}
+	return rep, nil
+}
+
 // chargeSwap applies the per-swap cost model: installation state for the
 // two moved nodes (each learns its new cluster's membership and the
 // membership of every adjacent cluster) plus composition updates to all
 // neighbors of both clusters.
 func (e *Exchanger) chargeSwap(led *metrics.Ledger, c, partner ids.ClusterID) {
+	e.chargeSwapClass(led, c, partner, metrics.ClassExchange, true)
+}
+
+// chargeSwapClass is chargeSwap with the transfer class and per-swap round
+// charging made explicit; the grouped cascade round charges ClassCascade
+// and amortizes rounds across the whole round.
+func (e *Exchanger) chargeSwapClass(led *metrics.Ledger, c, partner ids.ClusterID, class metrics.Class, perSwapRounds bool) {
 	install := int64(e.world.Size(c)) + int64(e.world.Size(partner))
 	install += e.neighborMass(c) + e.neighborMass(partner)
-	led.Charge(metrics.ClassExchange, install)
+	led.Charge(class, install)
 	led.Charge(metrics.ClassInterCluster, e.compositionUpdate(c)+e.compositionUpdate(partner))
-	led.AddRounds(2)
+	if perSwapRounds {
+		led.AddRounds(2)
+	}
 }
 
 // neighborMass is the number of nodes in clusters adjacent to c (the moved

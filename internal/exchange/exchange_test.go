@@ -229,6 +229,187 @@ func TestReceiversDistinct(t *testing.T) {
 	}
 }
 
+// cloneMembers snapshots the full partition for before/after comparisons.
+func cloneMembers(fw *fakeWorld) map[ids.ClusterID][]ids.NodeID {
+	out := make(map[ids.ClusterID][]ids.NodeID, len(fw.members))
+	for c, ms := range fw.members {
+		cp := make([]ids.NodeID, len(ms))
+		copy(cp, ms)
+		out[c] = cp
+	}
+	return out
+}
+
+func TestCascadeRoundOneSwapPerReceiver(t *testing.T) {
+	fw := newFakeWorld(t, 12, 8, 4, 21)
+	e := newExchanger(t, fw)
+	var led metrics.Ledger
+	receivers := []ids.ClusterID{1, 3, 5, 7}
+	before := cloneMembers(fw)
+	total := len(fw.home)
+	rep, err := e.CascadeRound(&led, xrand.New(13), ids.ClusterID(0), receivers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one swap slot per receiver: each receiver swaps with a pool
+	// partner or (with an empty pool) self-passes.
+	if rep.Swaps+rep.SelfSwaps != len(receivers) {
+		t.Errorf("swaps+self = %d, want one per receiver (%d)", rep.Swaps+rep.SelfSwaps, len(receivers))
+	}
+	for c, ms := range before {
+		if len(fw.members[c]) != len(ms) {
+			t.Errorf("cluster %v size changed %d -> %d", c, len(ms), len(fw.members[c]))
+		}
+	}
+	if len(fw.home) != total {
+		t.Errorf("population changed: %d -> %d", total, len(fw.home))
+	}
+	for x, c := range fw.home {
+		found := false
+		for _, m := range fw.members[c] {
+			if m == x {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %v index points at %v but is not a member", x, c)
+		}
+	}
+}
+
+func TestCascadeRoundChargesCascadeClass(t *testing.T) {
+	fw := newFakeWorld(t, 12, 8, 4, 22)
+	e := newExchanger(t, fw)
+	var led metrics.Ledger
+	rep, err := e.CascadeRound(&led, xrand.New(17), ids.ClusterID(10), []ids.ClusterID{0, 2, 4, 6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Swaps == 0 {
+		t.Fatal("no swaps happened; pick another seed")
+	}
+	if led.MessagesBy(metrics.ClassCascade) == 0 {
+		t.Error("cascade swaps charged no cascade-class messages")
+	}
+	if led.MessagesBy(metrics.ClassExchange) != 0 {
+		t.Errorf("cascade round charged %d exchange-class messages; cascade traffic must be separable",
+			led.MessagesBy(metrics.ClassExchange))
+	}
+}
+
+// TestCascadeRoundCheaperThanPerReceiverExchanges pins the amortization
+// claim: one grouped round over k receivers must cost well under k full
+// exchanges, in messages AND rounds, on identical starting states.
+func TestCascadeRoundCheaperThanPerReceiverExchanges(t *testing.T) {
+	receivers := []ids.ClusterID{1, 2, 3, 4, 5, 6}
+	grouped := newFakeWorld(t, 14, 10, 4, 23)
+	var gl metrics.Ledger
+	if _, err := newExchanger(t, grouped).CascadeRound(&gl, xrand.New(19), ids.ClusterID(0), receivers); err != nil {
+		t.Fatal(err)
+	}
+	classic := newFakeWorld(t, 14, 10, 4, 23)
+	var cl metrics.Ledger
+	ce := newExchanger(t, classic)
+	r := xrand.New(19)
+	for _, rc := range receivers {
+		if _, err := ce.Run(&cl, r, rc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if gl.Messages()*2 >= cl.Messages() {
+		t.Errorf("grouped round msgs %d not well under per-receiver msgs %d", gl.Messages(), cl.Messages())
+	}
+	if gl.Rounds()*2 >= cl.Rounds() {
+		t.Errorf("grouped round rounds %d not well under per-receiver rounds %d", gl.Rounds(), cl.Rounds())
+	}
+}
+
+// TestCascadeRoundWritesStayInPool pins the footprint property the op
+// scheduler's admission relies on: every node the round moves travels
+// between clusters of {source} ∪ receivers — the set the leave's primary
+// exchange already wrote — so the cascade adds NO clusters to a leave
+// plan's write footprint.
+func TestCascadeRoundWritesStayInPool(t *testing.T) {
+	fw := newFakeWorld(t, 16, 8, 4, 26)
+	e := newExchanger(t, fw)
+	var led metrics.Ledger
+	source := ids.ClusterID(9)
+	receivers := []ids.ClusterID{2, 4, 11, 14}
+	pool := map[ids.ClusterID]bool{source: true}
+	for _, rc := range receivers {
+		pool[rc] = true
+	}
+	before := cloneMembers(fw)
+	rep, err := e.CascadeRound(&led, xrand.New(31), source, receivers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Swaps == 0 {
+		t.Fatal("no swaps happened; pick another seed")
+	}
+	for _, p := range rep.Receivers {
+		if !pool[p] {
+			t.Errorf("round partner %v outside the pool", p)
+		}
+	}
+	for c, ms := range before {
+		if pool[c] {
+			continue
+		}
+		if fmt.Sprint(fw.members[c]) != fmt.Sprint(ms) {
+			t.Errorf("cluster %v outside the pool was mutated: %v -> %v", c, ms, fw.members[c])
+		}
+	}
+}
+
+func TestCascadeRoundSkipsDissolvedReceiver(t *testing.T) {
+	fw := newFakeWorld(t, 10, 8, 4, 24)
+	e := newExchanger(t, fw)
+	var led metrics.Ledger
+	// Cluster 99 does not exist: the round must skip it, not fail.
+	rep, err := e.CascadeRound(&led, xrand.New(23), ids.ClusterID(0), []ids.ClusterID{1, 99, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Swaps+rep.SelfSwaps != 2 {
+		t.Errorf("swaps+self = %d, want 2 (dissolved receiver skipped)", rep.Swaps+rep.SelfSwaps)
+	}
+}
+
+// TestCascadeRoundNoSwapsNoRounds: a round that moves nothing (every
+// receiver dissolved) must not charge round latency either.
+func TestCascadeRoundNoSwapsNoRounds(t *testing.T) {
+	fw := newFakeWorld(t, 6, 8, 3, 27)
+	e := newExchanger(t, fw)
+	var led metrics.Ledger
+	rep, err := e.CascadeRound(&led, xrand.New(33), ids.ClusterID(0), []ids.ClusterID{77, 88})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Swaps != 0 {
+		t.Fatalf("swaps = %d, want 0", rep.Swaps)
+	}
+	if led.Rounds() != 0 || led.Messages() != 0 {
+		t.Errorf("empty round charged rounds=%d msgs=%d, want 0/0", led.Rounds(), led.Messages())
+	}
+}
+
+func TestCascadeRoundDeterministic(t *testing.T) {
+	run := func() map[ids.ClusterID][]ids.NodeID {
+		fw := newFakeWorld(t, 12, 8, 4, 25)
+		e := newExchanger(t, fw)
+		var led metrics.Ledger
+		if _, err := e.CascadeRound(&led, xrand.New(29), ids.ClusterID(6), []ids.ClusterID{0, 1, 2, 3, 4, 5}); err != nil {
+			t.Fatal(err)
+		}
+		return fw.members
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("cascade round is not deterministic under a fixed seed")
+	}
+}
+
 func TestExchangeRandomizesByzantinePlacement(t *testing.T) {
 	// A fully-Byzantine cluster exchanged against an honest network must
 	// end up near the global Byzantine fraction — Lemma 1 in miniature.

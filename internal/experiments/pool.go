@@ -155,6 +155,35 @@ func ForEach(count int, body func(i int) error) error {
 	return err
 }
 
+// RunMany executes the named experiments concurrently and returns their
+// tables positionally aligned with ids. Cross-experiment parallelism
+// composes with each experiment's own cell fan-out as a SECOND pool
+// layer: up to Parallelism() experiment workers each spawn their own
+// cell pool, so the serial head and tail of one experiment's table
+// overlap another experiment's cells and a full E1-E12 sweep keeps every
+// core busy even while individual experiments drain. The composition
+// oversubscribes goroutines (up to P*P runnable), not threads — the Go
+// scheduler still executes at most GOMAXPROCS of them at once. Each
+// experiment remains entirely self-contained (own worlds, own derived
+// seeds), so the assembled tables are byte-identical to a serial run at
+// any parallelism; on failure the lowest-indexed failing experiment's
+// error is reported, exactly as a serial sweep would.
+func RunMany(ids []string, s Scale) ([]*Table, error) {
+	reg := Registry()
+	for _, id := range ids {
+		if _, ok := reg[id]; !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+		}
+	}
+	return mapCells(len(ids), func(i int) (*Table, error) {
+		t, err := reg[ids[i]](s)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ids[i], err)
+		}
+		return t, nil
+	})
+}
+
 // pair is one point of a two-parameter sweep grid.
 type pair[A, B any] struct {
 	a A

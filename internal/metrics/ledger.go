@@ -28,6 +28,7 @@ const (
 	ClassDiscovery                 // initialization flooding
 	ClassAgreement                 // Byzantine agreement traffic
 	ClassApplication               // application-layer traffic (broadcast etc.)
+	ClassCascade                   // grouped leave-cascade shuffle rounds
 	numClasses
 )
 
@@ -40,6 +41,7 @@ var _classNames = [numClasses]string{
 	"discovery",
 	"agreement",
 	"application",
+	"cascade",
 }
 
 // String implements fmt.Stringer.

@@ -164,6 +164,14 @@ func Experiments() map[string]func(ExperimentScale) (*ExperimentTable, error) {
 // ExperimentIDs returns the registry keys in canonical order.
 func ExperimentIDs() []string { return experiments.IDs() }
 
+// RunExperiments executes the named experiments concurrently on the
+// worker pool — fanning across experiments on top of each experiment's
+// own cell fan-out — and returns their tables positionally aligned with
+// ids. Tables are byte-identical to a serial sweep at any parallelism.
+func RunExperiments(ids []string, s ExperimentScale) ([]*ExperimentTable, error) {
+	return experiments.RunMany(ids, s)
+}
+
 // SetParallelism fixes the experiment worker-pool size: 1 forces serial
 // execution, p > 1 uses exactly p workers, p <= 0 restores the default
 // (NOWBENCH_PARALLEL, then GOMAXPROCS). Output tables are byte-identical
@@ -192,6 +200,20 @@ func SetWorldShards(n int) { core.SetDefaultShards(n) }
 
 // WorldShards reports the default shard count currently in effect.
 func WorldShards() int { return core.DefaultShards() }
+
+// SetGroupedCascade fixes the default leave-cascade mode for
+// configurations built by DefaultConfig: true batches each leave's
+// cascade into one grouped shuffle round over the receiver set (one swap
+// per receiver, charged to the cascade ledger class), shrinking the
+// leave write footprint from ~|C|^2 to ~|C| clusters; false (the
+// default) keeps Algorithm 2's full exchange per receiver. It is the
+// harness-wide knob behind the nowbench/nowsim -grouped-cascade flags;
+// explicit Config values are unaffected.
+func SetGroupedCascade(on bool) { core.SetDefaultGroupedCascade(on) }
+
+// GroupedCascade reports the default leave-cascade mode currently in
+// effect.
+func GroupedCascade() bool { return core.DefaultGroupedCascade() }
 
 // QuickScale is the CI-sized experiment scale.
 func QuickScale() ExperimentScale { return experiments.QuickScale() }
