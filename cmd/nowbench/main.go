@@ -9,6 +9,11 @@
 //	nowbench -full            # the long-running sweep
 //	nowbench -csv out/        # also write CSV files
 //	nowbench -parallel 1      # force the serial runner (default: GOMAXPROCS)
+//	nowbench -full -max-n 65536 -exp E4,E5,E6
+//	                          # the wide-range 2^16 separation sweep
+//	                          # (sketch-mode cost sampling keeps it in memory)
+//	nowbench -exact-samples   # retained-history accounting: byte-identical
+//	                          # to pre-sketch tables, memory grows with ops
 //
 // Both the selected experiments AND each experiment's independent cells
 // fan out across a worker pool sized by -parallel (or the
@@ -44,20 +49,27 @@ func run() error {
 		parallel = flag.Int("parallel", 0, "experiment worker count: 1 = serial, 0 = auto (NOWBENCH_PARALLEL, then GOMAXPROCS)")
 		shards   = flag.Int("world-shards", 1, "lockable state segments per experiment world (tables are byte-identical at any value; the harness drives ops serially, so this exercises the sharded layout rather than speeding tables up)")
 		grouped  = flag.Bool("grouped-cascade", false, "batch leave cascades into one grouped shuffle round per leave (~|C| write footprint instead of ~|C|^2; changes measured costs, tables stay deterministic)")
+		exact    = flag.Bool("exact-samples", false, "retain full per-operation cost histories (metrics.Sample) instead of fixed-memory sketches; reproduces pre-sketch tables byte for byte but memory grows with the operation count — avoid with -max-n")
+		maxN     = flag.Int("max-n", 0, "extend the N sweep by doubling the top size up to this bound (e.g. 65536 for the 2^16 separation sweep); 0 keeps the selected scale's grid")
 	)
 	flag.Parse()
 
 	nowover.SetParallelism(*parallel)
 	nowover.SetWorldShards(*shards)
 	nowover.SetGroupedCascade(*grouped)
-	fmt.Printf("nowbench: %d worker(s), %d world shard(s), grouped-cascade=%v\n\n",
-		nowover.Parallelism(), nowover.WorldShards(), nowover.GroupedCascade())
 
 	scale := nowover.QuickScale()
 	if *full {
 		scale = nowover.FullScale()
 	}
 	scale.Seed = *seed
+	scale.ExactSamples = *exact
+	if *maxN > 0 {
+		scale = scale.ExtendTo(*maxN)
+	}
+	fmt.Printf("nowbench: %d worker(s), %d world shard(s), grouped-cascade=%v, samples=%s, Ns=%v\n\n",
+		nowover.Parallelism(), nowover.WorldShards(), nowover.GroupedCascade(),
+		map[bool]string{false: "sketch", true: "exact"}[*exact], scale.Ns)
 
 	registry := nowover.Experiments()
 	var selected []string

@@ -49,6 +49,7 @@ func run() error {
 		shards     = flag.Int("world-shards", 1, "lockable world-state segments: 1 = serial layout, n > 1 enables intra-world concurrency (results identical at any value)")
 		opsPerStep = flag.Int("ops-per-step", 1, "operations per time step: > 1 batches them through the concurrent op scheduler (incompatible with -attack hijacking)")
 		grouped    = flag.Bool("grouped-cascade", false, "batch each leave's cascade into one grouped shuffle round over the receiver set (~|C| write footprint instead of ~|C|^2)")
+		exact      = flag.Bool("exact-samples", false, "retain full per-operation cost histories instead of fixed-memory sketches (pre-sketch output byte for byte; memory grows with -steps)")
 	)
 	flag.Parse()
 
@@ -82,6 +83,7 @@ func run() error {
 			Seed:          runSeed,
 			AuditEvery:    *every,
 			SampleOpCosts: true,
+			ExactSamples:  *exact,
 		}
 		cfg.Core.Seed = runSeed
 		cfg.Core.K = *k
@@ -146,7 +148,7 @@ func run() error {
 		refCfg.Core.TargetDegree(), refCfg.Core.DegreeCap())
 
 	if *runs > 1 {
-		return runReplicas(makeConfig, *seed, *runs)
+		return runReplicas(makeConfig, *seed, *runs, *exact)
 	}
 
 	res, err := nowover.Simulate(refCfg)
@@ -177,6 +179,9 @@ func run() error {
 			res.OpCosts.JoinMsgs.Mean(), res.OpCosts.JoinMsgs.Quantile(0.95),
 			res.OpCosts.LeaveMsgs.Mean(), res.OpCosts.LeaveMsgs.Quantile(0.95))
 	}
+	if !*exact {
+		printClassHists(&res.OpCosts)
+	}
 	verdict := "HELD"
 	if res.Stats.CapturedEvents > 0 {
 		verdict = "VIOLATED (cluster captured)"
@@ -185,10 +190,31 @@ func run() error {
 	return nil
 }
 
+// printClassHists summarizes the per-traffic-class message histograms of
+// the sampled operations (sketch mode only): count, rank-exact p50/p99
+// located to within one power of two (the log-scale bucket width). Every
+// histogram covers ALL sampled ops (zero charges included); classes no
+// operation used are omitted from the printout.
+func printClassHists(oc *nowover.SimOpCosts) {
+	printed := false
+	for c := 0; c < nowover.NumTrafficClasses; c++ {
+		h := &oc.ClassMsgs[c]
+		if h.N() == h.Bucket(0) {
+			continue // no op charged this class anything
+		}
+		if !printed {
+			fmt.Println("per-op msgs by class (log2 buckets over all sampled ops, p50/p99 are bucket upper bounds):")
+			printed = true
+		}
+		fmt.Printf("  %-13s n=%-7d p50<%.3g p99<%.3g\n",
+			nowover.TrafficClass(c), h.N(), h.Quantile(0.5), h.Quantile(0.99))
+	}
+}
+
 // runReplicas fans runs independent replicas across the experiment worker
 // pool (each with its own derived seed and world) and prints per-replica
 // summaries in seed order plus the aggregate Theorem 3 verdict.
-func runReplicas(makeConfig func(uint64) (nowover.SimConfig, error), seed uint64, runs int) error {
+func runReplicas(makeConfig func(uint64) (nowover.SimConfig, error), seed uint64, runs int, exact bool) error {
 	fmt.Printf("replica sweep: %d runs on %d worker(s)\n\n", runs, nowover.Parallelism())
 	results := make([]*nowover.SimResult, runs)
 	err := nowover.ForEachRun(runs, func(i int) error {
@@ -229,6 +255,18 @@ func runReplicas(makeConfig func(uint64) (nowover.SimConfig, error), seed uint64
 			100*float64(res.DegradedSteps)/float64(res.Steps),
 			100*float64(res.CapturedSteps)/float64(res.Steps),
 			verdict)
+	}
+	// Cross-replica per-op cost distribution: per-replica accumulators
+	// merged in seed (submission) order, so the aggregate is deterministic
+	// at any -parallel setting.
+	agg := nowover.NewSimOpCosts(exact)
+	for _, res := range results {
+		agg.Merge(&res.OpCosts)
+	}
+	if agg.JoinMsgs.N() > 0 {
+		fmt.Printf("\nper-op across replicas: join n=%d mean=%.0f p50=%.0f p95=%.0f; leave n=%d mean=%.0f p50=%.0f p95=%.0f msgs\n",
+			agg.JoinMsgs.N(), agg.JoinMsgs.Mean(), agg.JoinMsgs.Quantile(0.5), agg.JoinMsgs.Quantile(0.95),
+			agg.LeaveMsgs.N(), agg.LeaveMsgs.Mean(), agg.LeaveMsgs.Quantile(0.5), agg.LeaveMsgs.Quantile(0.95))
 	}
 	fmt.Printf("\naggregate: %d/%d runs captured, %d/%d degraded, worst byz fraction %.3f\n",
 		captured, runs, degraded, runs, worst)

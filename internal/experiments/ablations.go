@@ -10,8 +10,9 @@ import (
 )
 
 // ablationRun executes one steady-churn run with a mutated config and
-// returns the result.
-func ablationRun(n int, tau float64, steps int, seed uint64,
+// returns the result; exact selects the per-operation cost accumulator
+// mode (Scale.ExactSamples).
+func ablationRun(n int, tau float64, steps int, seed uint64, exact bool,
 	strategy adversary.Strategy, mutate func(*core.Config)) (*sim.Result, error) {
 	cfg := sim.Config{
 		Core:          core.DefaultConfig(n),
@@ -21,6 +22,7 @@ func ablationRun(n int, tau float64, steps int, seed uint64,
 		Seed:          seed,
 		Strategy:      strategy,
 		SampleOpCosts: true,
+		ExactSamples:  exact,
 	}
 	cfg.Core.Seed = seed
 	if mutate != nil {
@@ -57,6 +59,7 @@ func AblationMergeStrategy(s Scale) (*Table, error) {
 			Steps:         steps,
 			Seed:          s.Seed,
 			SampleOpCosts: true,
+			ExactSamples:  s.ExactSamples,
 		}
 		cfg.Core.Seed = s.Seed
 		cfg.Core.MergeStrategy = strat
@@ -96,7 +99,7 @@ func AblationLeaveCascade(s Scale) (*Table, error) {
 	cascades := []bool{true, false}
 	if err := t.RunCells(len(cascades), func(i int, frag *Table) error {
 		cascade := cascades[i]
-		res, err := ablationRun(n, 0.25, steps, s.Seed,
+		res, err := ablationRun(n, 0.25, steps, s.Seed, s.ExactSamples,
 			&adversary.JoinLeaveAttack{Budget: adversary.Budget{Tau: 0.25}},
 			func(c *core.Config) {
 				c.LeaveCascade = cascade

@@ -157,6 +157,7 @@ func E11Baselines(s Scale) (*Table, error) {
 				Steps:         growSteps,
 				Seed:          s.Seed,
 				SampleOpCosts: true,
+				ExactSamples:  s.ExactSamples,
 			}
 			cfg.Core.Seed = s.Seed
 			runner, err := sim.New(cfg)

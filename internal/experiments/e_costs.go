@@ -169,6 +169,7 @@ func E6OperationCost(s Scale) (*Table, error) {
 			Steps:         int(s.OpsFactor * float64(n) / 2),
 			Seed:          s.Seed,
 			SampleOpCosts: true,
+			ExactSamples:  s.ExactSamples,
 		}
 		cfg.Core.Seed = s.Seed
 		runner, err := sim.New(cfg)

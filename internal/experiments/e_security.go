@@ -197,7 +197,7 @@ func E3DriftRecovery(s Scale) (*Table, error) {
 	next := 0
 	for _, n := range s.Ns {
 		for _, p0 := range p0s {
-			var rec metrics.Sample
+			rec := metrics.NewDist(s.ExactSamples)
 			maxSeen := 0.0
 			for trial := 0; trial < s.Trials; trial++ {
 				out := outs[next]

@@ -138,6 +138,31 @@ type Scale struct {
 	Walks int
 	// Seed anchors determinism.
 	Seed uint64
+	// ExactSamples switches per-operation cost accounting from the default
+	// fixed-memory sketches (metrics.Digest) to retained-history samples
+	// (metrics.Sample), reproducing pre-sketch tables byte for byte.
+	// Leave false for wide-range sweeps: exact mode's memory grows with
+	// the operation count. Means and counts are identical in both modes;
+	// only quantile columns move, within the sketch's rank-error bounds.
+	ExactSamples bool
+}
+
+// ExtendTo widens the N sweep by doubling the top size until maxN
+// (inclusive), preserving the power-of-two grid the log2 scalings assume.
+// It is how the CLI's -max-n flag stretches QuickScale/FullScale to the
+// wide-range separation sweep (N up to 2^16) without redefining the
+// standard scales.
+func (s Scale) ExtendTo(maxN int) Scale {
+	if len(s.Ns) == 0 {
+		return s
+	}
+	ns := append([]int(nil), s.Ns...)
+	for last := ns[len(ns)-1]; last*2 <= maxN; {
+		last *= 2
+		ns = append(ns, last)
+	}
+	s.Ns = ns
+	return s
 }
 
 // QuickScale is the default used by `go test -bench` and CI.

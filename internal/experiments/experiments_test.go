@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -102,6 +103,28 @@ func TestTableFormatting(t *testing.T) {
 	}
 	if !strings.Contains(out, "1e+09") {
 		t.Errorf("big float formatting wrong:\n%s", out)
+	}
+}
+
+func TestExtendTo(t *testing.T) {
+	s := QuickScale() // Ns ends at 1024
+	wide := s.ExtendTo(1 << 16)
+	want := []int{256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+	if !reflect.DeepEqual(wide.Ns, want) {
+		t.Errorf("ExtendTo(2^16).Ns = %v, want %v", wide.Ns, want)
+	}
+	if !reflect.DeepEqual(s.Ns, []int{256, 512, 1024}) {
+		t.Errorf("ExtendTo mutated the receiver's grid: %v", s.Ns)
+	}
+	if got := s.ExtendTo(1024); !reflect.DeepEqual(got.Ns, s.Ns) {
+		t.Errorf("ExtendTo(no-op) changed the grid: %v", got.Ns)
+	}
+	if got := s.ExtendTo(3000); !reflect.DeepEqual(got.Ns, []int{256, 512, 1024, 2048}) {
+		t.Errorf("ExtendTo(3000).Ns = %v (must stop at the last power of two <= bound)", got.Ns)
+	}
+	empty := Scale{}
+	if got := empty.ExtendTo(1024); len(got.Ns) != 0 {
+		t.Errorf("ExtendTo on an empty grid invented sizes: %v", got.Ns)
 	}
 }
 

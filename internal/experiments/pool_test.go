@@ -10,11 +10,20 @@ import (
 	"testing"
 )
 
+// sampleModes is the cost-accounting mode axis both determinism
+// regressions sweep; a new mode added here is exercised by both.
+var sampleModes = []struct {
+	name  string
+	exact bool
+}{{"sketch", false}, {"exact", true}}
+
 // TestParallelMatchesSerial is the determinism regression test for the
 // worker-pool runner: a fast subset of E1-E12 (covering every cell shape
 // — grid sweeps, per-trial folds, multi-row fragments, heterogeneous
 // sections) must produce byte-identical tables serially and with many
-// workers racing on the pool.
+// workers racing on the pool. It runs in BOTH cost-accounting modes, so
+// the sketch-mode rendering path (Dist quantile columns in E6/E12/A1)
+// carries the same byte-identity guarantee as the exact path.
 func TestParallelMatchesSerial(t *testing.T) {
 	defer SetParallelism(0)
 	s := Scale{
@@ -24,40 +33,44 @@ func TestParallelMatchesSerial(t *testing.T) {
 		Walks:     40,
 		Seed:      7,
 	}
-	subset := []string{"E1", "E2", "E3", "E8", "E9", "E11", "A1"}
+	subset := []string{"E1", "E2", "E3", "E6", "E8", "E9", "E11", "E12", "A1"}
 	reg := Registry()
-	for _, id := range subset {
-		id := id
-		t.Run(id, func(t *testing.T) {
-			SetParallelism(1)
-			serial, err := reg[id](s)
-			if err != nil {
-				t.Fatalf("serial run failed: %v", err)
-			}
-			SetParallelism(8)
-			parallel, err := reg[id](s)
-			if err != nil {
-				t.Fatalf("parallel run failed: %v", err)
-			}
-			if !reflect.DeepEqual(serial.Rows, parallel.Rows) {
-				t.Errorf("rows diverge between serial and parallel runs:\nserial:   %v\nparallel: %v",
-					serial.Rows, parallel.Rows)
-			}
-			if !reflect.DeepEqual(serial.Notes, parallel.Notes) {
-				t.Errorf("notes diverge:\nserial:   %v\nparallel: %v", serial.Notes, parallel.Notes)
-			}
-			var sb, pb bytes.Buffer
-			if err := serial.Render(&sb); err != nil {
-				t.Fatal(err)
-			}
-			if err := parallel.Render(&pb); err != nil {
-				t.Fatal(err)
-			}
-			if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
-				t.Errorf("rendered tables not byte-identical:\n--- serial ---\n%s--- parallel ---\n%s",
-					sb.String(), pb.String())
-			}
-		})
+	for _, mode := range sampleModes {
+		s := s
+		s.ExactSamples = mode.exact
+		for _, id := range subset {
+			id := id
+			t.Run(mode.name+"/"+id, func(t *testing.T) {
+				SetParallelism(1)
+				serial, err := reg[id](s)
+				if err != nil {
+					t.Fatalf("serial run failed: %v", err)
+				}
+				SetParallelism(8)
+				parallel, err := reg[id](s)
+				if err != nil {
+					t.Fatalf("parallel run failed: %v", err)
+				}
+				if !reflect.DeepEqual(serial.Rows, parallel.Rows) {
+					t.Errorf("rows diverge between serial and parallel runs:\nserial:   %v\nparallel: %v",
+						serial.Rows, parallel.Rows)
+				}
+				if !reflect.DeepEqual(serial.Notes, parallel.Notes) {
+					t.Errorf("notes diverge:\nserial:   %v\nparallel: %v", serial.Notes, parallel.Notes)
+				}
+				var sb, pb bytes.Buffer
+				if err := serial.Render(&sb); err != nil {
+					t.Fatal(err)
+				}
+				if err := parallel.Render(&pb); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+					t.Errorf("rendered tables not byte-identical:\n--- serial ---\n%s--- parallel ---\n%s",
+						sb.String(), pb.String())
+				}
+			})
+		}
 	}
 }
 
@@ -68,7 +81,8 @@ func TestParallelMatchesSerial(t *testing.T) {
 // own cells — on a many-worker pool, in the requested order. This guards
 // the global state RunMany composes over (the parallelism knob, the
 // registry, per-experiment world seeding) against cross-experiment
-// leakage.
+// leakage. Both cost-accounting modes run, covering the sketch-mode
+// rendering path (E6/E12 quantile columns).
 func TestCrossExperimentParallelMatchesSerial(t *testing.T) {
 	defer SetParallelism(0)
 	s := Scale{
@@ -78,37 +92,43 @@ func TestCrossExperimentParallelMatchesSerial(t *testing.T) {
 		Walks:     40,
 		Seed:      7,
 	}
-	subset := []string{"E1", "E3", "E8", "E9", "A1"}
+	subset := []string{"E1", "E3", "E6", "E8", "E9", "E12", "A1"}
 	reg := Registry()
-	SetParallelism(1)
-	serial := make([]*Table, len(subset))
-	for i, id := range subset {
-		tbl, err := reg[id](s)
-		if err != nil {
-			t.Fatalf("serial %s failed: %v", id, err)
-		}
-		serial[i] = tbl
-	}
-	SetParallelism(8)
-	parallel, err := RunMany(subset, s)
-	if err != nil {
-		t.Fatalf("parallel sweep failed: %v", err)
-	}
-	for i, id := range subset {
-		if parallel[i].ID != id {
-			t.Fatalf("slot %d holds table %s, want %s (order lost)", i, parallel[i].ID, id)
-		}
-		var sb, pb bytes.Buffer
-		if err := serial[i].Render(&sb); err != nil {
-			t.Fatal(err)
-		}
-		if err := parallel[i].Render(&pb); err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
-			t.Errorf("%s tables not byte-identical:\n--- serial ---\n%s--- parallel ---\n%s",
-				id, sb.String(), pb.String())
-		}
+	for _, mode := range sampleModes {
+		s := s
+		s.ExactSamples = mode.exact
+		t.Run(mode.name, func(t *testing.T) {
+			SetParallelism(1)
+			serial := make([]*Table, len(subset))
+			for i, id := range subset {
+				tbl, err := reg[id](s)
+				if err != nil {
+					t.Fatalf("serial %s failed: %v", id, err)
+				}
+				serial[i] = tbl
+			}
+			SetParallelism(8)
+			parallel, err := RunMany(subset, s)
+			if err != nil {
+				t.Fatalf("parallel sweep failed: %v", err)
+			}
+			for i, id := range subset {
+				if parallel[i].ID != id {
+					t.Fatalf("slot %d holds table %s, want %s (order lost)", i, parallel[i].ID, id)
+				}
+				var sb, pb bytes.Buffer
+				if err := serial[i].Render(&sb); err != nil {
+					t.Fatal(err)
+				}
+				if err := parallel[i].Render(&pb); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+					t.Errorf("%s tables not byte-identical:\n--- serial ---\n%s--- parallel ---\n%s",
+						id, sb.String(), pb.String())
+				}
+			}
+		})
 	}
 }
 

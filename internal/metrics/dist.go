@@ -1,0 +1,117 @@
+package metrics
+
+// dist.go implements Dist, the cost-sampling accumulator behind the
+// harness's ExactSamples switch: one observation stream summarized either
+// exactly (a retained-history Sample — today's semantics, byte-identical
+// tables, O(N) memory) or by sketch (a fixed-memory Digest — the default,
+// which is what lets -full sweeps at N >= 2^16 fit in memory). Both modes
+// expose the same N/Mean/Quantile/Max surface and both Merge in submission
+// order, so the choice never leaks into the plumbing — only into memory
+// and into quantile columns (means, extremes and counts are exact in both
+// modes).
+
+import "fmt"
+
+// Dist accumulates one observation series exactly or by sketch. The zero
+// value is an empty SKETCH-mode accumulator (the harness default);
+// NewDist(true) selects exact mode. Dist is not safe for concurrent use —
+// give each goroutine its own and Merge in a deterministic order.
+type Dist struct {
+	exact  bool
+	sample Sample
+	digest Digest
+}
+
+// NewDist returns an empty accumulator: exact mode retains the full
+// observation history (Sample), sketch mode stays fixed-memory (Digest).
+func NewDist(exact bool) Dist { return Dist{exact: exact} }
+
+// Exact reports which mode the accumulator is in.
+func (d *Dist) Exact() bool { return d.exact }
+
+// Add folds one observation in.
+func (d *Dist) Add(x float64) {
+	if d.exact {
+		d.sample.Add(x)
+	} else {
+		d.digest.Add(x)
+	}
+}
+
+// Merge folds another accumulator's state into this one without mutating
+// it. Exact-mode merge concatenates histories, so merged quantiles always
+// equal single-stream accumulation (byte-identity holds for sources not
+// yet queried — see Sample.Merge); sketch-mode merge is deterministic
+// (and byte-identical while the source is raw — see Digest.Merge). Modes
+// must match: silently folding a sketch into an exact history would fake
+// precision the data no longer has.
+func (d *Dist) Merge(o *Dist) {
+	if o == nil {
+		return
+	}
+	if d.exact != o.exact {
+		panic(fmt.Sprintf("metrics: merging %s-mode Dist into %s-mode Dist",
+			modeName(o.exact), modeName(d.exact)))
+	}
+	if d.exact {
+		d.sample.Merge(&o.sample)
+	} else {
+		d.digest.Merge(&o.digest)
+	}
+}
+
+func modeName(exact bool) string {
+	if exact {
+		return "exact"
+	}
+	return "sketch"
+}
+
+// N returns the observation count.
+func (d *Dist) N() int64 {
+	if d.exact {
+		return int64(d.sample.N())
+	}
+	return d.digest.N()
+}
+
+// Mean returns the mean — exact in both modes (NaN when empty).
+func (d *Dist) Mean() float64 {
+	if d.exact {
+		return d.sample.Mean()
+	}
+	return d.digest.Mean()
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1, NaN when empty): exact in
+// exact mode, rank-error bounded in sketch mode (oracle_test.go).
+func (d *Dist) Quantile(q float64) float64 {
+	if d.exact {
+		return d.sample.Quantile(q)
+	}
+	return d.digest.Quantile(q)
+}
+
+// Max returns the maximum observation — exact in both modes (NaN when
+// empty).
+func (d *Dist) Max() float64 {
+	if d.exact {
+		return d.sample.Max()
+	}
+	return d.digest.Max()
+}
+
+// Footprint reports the accumulator's current memory footprint in bytes:
+// O(N) in exact mode, O(compression) in sketch mode.
+func (d *Dist) Footprint() int {
+	if d.exact {
+		return d.sample.Footprint()
+	}
+	return d.digest.Footprint()
+}
+
+// String summarizes the accumulator for logs.
+func (d *Dist) String() string {
+	return fmt.Sprintf("mode=%s n=%d mean=%.3g p50=%.3g p95=%.3g max=%.3g",
+		modeName(d.exact), d.N(), d.Mean(), d.Quantile(0.5), d.Quantile(0.95), d.Max())
+}

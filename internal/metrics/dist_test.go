@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nowover/internal/xrand"
+)
+
+// TestDistModes: both modes agree exactly on N/Mean/Max; exact mode's
+// quantiles match the Sample oracle bit for bit, sketch mode's sit within
+// the rank envelope.
+func TestDistModes(t *testing.T) {
+	r := xrand.New(3)
+	exact := NewDist(true)
+	sketch := NewDist(false)
+	var oracle Sample
+	for i := 0; i < 20000; i++ {
+		x := r.Exp(1) * 500
+		exact.Add(x)
+		sketch.Add(x)
+		oracle.Add(x)
+	}
+	if !exact.Exact() || sketch.Exact() {
+		t.Fatal("mode flags wrong")
+	}
+	if exact.N() != sketch.N() || exact.N() != int64(oracle.N()) {
+		t.Errorf("counts diverge: exact %d sketch %d oracle %d", exact.N(), sketch.N(), oracle.N())
+	}
+	if exact.Mean() != sketch.Mean() {
+		t.Errorf("means diverge: exact %v sketch %v", exact.Mean(), sketch.Mean())
+	}
+	if exact.Max() != sketch.Max() {
+		t.Errorf("maxima diverge: exact %v sketch %v", exact.Max(), sketch.Max())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := exact.Quantile(q), oracle.Quantile(q); got != want {
+			t.Errorf("exact-mode Quantile(%v) = %v, oracle %v", q, got, want)
+		}
+	}
+	// Sketch memory must be a small fraction of the retained history.
+	if sketch.Footprint() >= exact.Footprint()/4 {
+		t.Errorf("sketch footprint %dB vs exact %dB", sketch.Footprint(), exact.Footprint())
+	}
+}
+
+// TestDistExactMergeByteIdentical: exact-mode merge concatenates histories
+// in submission order, so sharded accumulation is byte-identical to a
+// single stream — the exact-mode face of the merge-equivalence contract.
+func TestDistExactMergeByteIdentical(t *testing.T) {
+	r := xrand.New(17)
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+	}
+	single := NewDist(true)
+	for _, x := range xs {
+		single.Add(x)
+	}
+	shards := make([]Dist, 5)
+	for i := range shards {
+		shards[i] = NewDist(true)
+	}
+	per := len(xs) / len(shards)
+	for i, x := range xs {
+		s := i / per
+		if s >= len(shards) {
+			s = len(shards) - 1
+		}
+		shards[s].Add(x)
+	}
+	merged := NewDist(true)
+	for i := range shards {
+		merged.Merge(&shards[i])
+	}
+	if !reflect.DeepEqual(single, merged) {
+		t.Error("exact-mode sharded merge not byte-identical to single stream")
+	}
+}
+
+// TestDistMergeModeMismatchPanics: silently folding a sketch into an exact
+// history would fake precision, so it must refuse loudly.
+func TestDistMergeModeMismatchPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("mode-mismatched merge did not panic")
+		} else if !strings.Contains(fmt.Sprint(r), "sketch-mode") {
+			t.Errorf("panic %v does not name the modes", r)
+		}
+	}()
+	exact := NewDist(true)
+	sketch := NewDist(false)
+	sketch.Add(1)
+	exact.Merge(&sketch)
+}
+
+// TestDistEmptyContract: both modes answer NaN when empty.
+func TestDistEmptyContract(t *testing.T) {
+	for _, mode := range []bool{true, false} {
+		d := NewDist(mode)
+		if d.N() != 0 {
+			t.Errorf("mode=%v: empty N = %d", mode, d.N())
+		}
+		for name, v := range map[string]float64{
+			"Mean": d.Mean(), "Max": d.Max(), "Quantile": d.Quantile(0.5),
+		} {
+			if !math.IsNaN(v) {
+				t.Errorf("mode=%v: empty %s = %v, want NaN", mode, name, v)
+			}
+		}
+		if !strings.Contains(d.String(), "n=0") {
+			t.Errorf("String() = %q", d.String())
+		}
+	}
+}
+
+// BenchmarkCostSampling is the memory benchmark behind the ISSUE's
+// acceptance criterion: per-observation cost of exact vs sketch
+// accounting at stream lengths 2^12..2^16 (the per-cell operation counts
+// of the wide-range sweep). b.ReportAllocs surfaces allocs/op and B/op;
+// the retained-bytes metric reports the accumulator's final footprint —
+// O(N) exact, O(compression) sketch.
+func BenchmarkCostSampling(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		exact bool
+	}{{"exact", true}, {"sketch", false}} {
+		for _, n := range []int{1 << 12, 1 << 14, 1 << 16} {
+			b.Run(fmt.Sprintf("%s/obs=%d", mode.name, n), func(b *testing.B) {
+				r := xrand.New(9)
+				xs := make([]float64, n)
+				for i := range xs {
+					xs[i] = r.Exp(1) * 1e6 // leave-cost magnitude
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var last *Dist
+				for i := 0; i < b.N; i++ {
+					d := NewDist(mode.exact)
+					for _, x := range xs {
+						d.Add(x)
+					}
+					last = &d
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(last.Footprint()), "retained-B")
+				b.ReportMetric(float64(last.Footprint())/float64(n), "retained-B/obs")
+			})
+		}
+	}
+}

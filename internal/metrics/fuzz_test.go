@@ -1,0 +1,112 @@
+package metrics
+
+// FuzzDigest drives an add/shard/merge/checkpoint script decoded from the
+// fuzz input against the exact Sample oracle: at every checkpoint the
+// shards built so far merge in submission order and the merged sketch's
+// p50/p90/p99 must sit inside a conservative rank-error envelope of the
+// oracle, with N, Max and Quantile(0) exact. It is the adversarial
+// counterpart of oracle_test.go — the fuzzer owns the values AND the
+// shard/merge boundaries, hunting compaction-schedule edge cases (ties,
+// constant runs, shard splits mid-buffer) no fixed distribution covers.
+//
+// Wired into CI's fuzz-smoke job alongside FuzzWorldOps: corpus replay on
+// every run, a fuzzing budget on the concurrency matrix.
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// fuzzMaxOps caps the script length so a pathological input cannot stall
+// the fuzzer on one case.
+const fuzzMaxOps = 1 << 12
+
+func FuzzDigest(f *testing.F) {
+	f.Add([]byte{})
+	// A constant run with a checkpoint.
+	constant := []byte{}
+	for i := 0; i < 40; i++ {
+		constant = append(constant, 0, 0, 42)
+	}
+	f.Add(append(constant, 3, 0, 0))
+	// Mixed magnitudes, a shard split, then a checkpoint.
+	f.Add([]byte{
+		0, 0, 1, 0, 0, 2, 1, 0x10, 0, 0, 0xFF, 0xFF,
+		2, 0, 0,
+		1, 0xFF, 0xFF, 0, 0, 7,
+		3, 0, 0,
+	})
+	// Ascending ramp split across three shards.
+	ramp := []byte{}
+	for i := 0; i < 60; i++ {
+		ramp = append(ramp, 0, byte(i>>4), byte(i<<4))
+		if i%20 == 19 {
+			ramp = append(ramp, 2, 0, 0)
+		}
+	}
+	f.Add(append(ramp, 3, 0, 0))
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		var oracle []float64
+		shards := []*Digest{NewDigest(0)}
+		cur := func() *Digest { return shards[len(shards)-1] }
+
+		check := func() {
+			if len(oracle) == 0 {
+				return
+			}
+			merged := NewDigest(0)
+			for _, s := range shards {
+				merged.Merge(s)
+			}
+			sorted := append([]float64(nil), oracle...)
+			sort.Float64s(sorted)
+			n := float64(len(sorted))
+			if merged.N() != int64(len(sorted)) {
+				t.Fatalf("N = %d, oracle %d", merged.N(), len(sorted))
+			}
+			if merged.Max() != sorted[len(sorted)-1] {
+				t.Fatalf("Max = %v, oracle %v", merged.Max(), sorted[len(sorted)-1])
+			}
+			if merged.Quantile(0) != sorted[0] {
+				t.Fatalf("Quantile(0) = %v, oracle min %v", merged.Quantile(0), sorted[0])
+			}
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				est := merged.Quantile(q)
+				lo := sort.SearchFloat64s(sorted, est)
+				hi := sort.Search(len(sorted), func(i int) bool { return sorted[i] > est })
+				target := q * n
+				slack := 0.05*n + 2 // worst-case envelope incl. merge degradation
+				if target < float64(lo)-slack || target > float64(hi)+slack {
+					t.Fatalf("q=%v: estimate %v at ranks [%d,%d] of %d, target %.1f",
+						q, est, lo, hi, len(sorted), target)
+				}
+			}
+		}
+
+		ops := len(script) / 3
+		if ops > fuzzMaxOps {
+			ops = fuzzMaxOps
+		}
+		for i := 0; i < ops; i++ {
+			op := script[3*i] & 3
+			val := uint16(script[3*i+1])<<8 | uint16(script[3*i+2])
+			switch op {
+			case 0: // small-magnitude observation
+				x := float64(val)
+				oracle = append(oracle, x)
+				cur().Add(x)
+			case 1: // wide-magnitude observation: mantissa * 2^exp
+				x := math.Ldexp(float64(val&0x0FFF)+1, int(val>>12))
+				oracle = append(oracle, x)
+				cur().Add(x)
+			case 2: // split: start a new shard
+				shards = append(shards, NewDigest(0))
+			case 3: // checkpoint: merge all shards in order, verify vs oracle
+				check()
+			}
+		}
+		check()
+	})
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nowover/internal/xrand"
+)
+
+func TestHistBucketMapping(t *testing.T) {
+	cases := []struct {
+		x      float64
+		bucket int
+	}{
+		{0, 0}, {-5, 0}, {0.5, 0}, {math.NaN(), 0},
+		{1, 1}, {1.5, 1}, {2, 2}, {3, 2}, {4, 3},
+		{1024, 11}, {math.Ldexp(1, 61), 62}, {math.Ldexp(1, 200), 62},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.x); got != c.bucket {
+			t.Errorf("histBucket(%v) = %d, want %d", c.x, got, c.bucket)
+		}
+	}
+	for i := 1; i < NumHistBuckets(); i++ {
+		if got, want := BucketLower(i), math.Ldexp(1, i-1); got != want {
+			t.Errorf("BucketLower(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if BucketLower(0) != 0 {
+		t.Errorf("BucketLower(0) = %v, want 0", BucketLower(0))
+	}
+}
+
+// TestHistMergeByteIdentical is the histogram half of the merge-equivalence
+// satellite: unlike the Digest, Hist merges EXACTLY — sharded
+// sub-histograms merged in any order are byte-identical to single-stream
+// accumulation, because bucket counts are commutative integer sums.
+func TestHistMergeByteIdentical(t *testing.T) {
+	r := xrand.New(11)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = r.Exp(1) * math.Pow(10, float64(r.Intn(6)))
+	}
+	var single Hist
+	for _, x := range xs {
+		single.Add(x)
+	}
+	shards := make([]Hist, 7)
+	for i, x := range xs {
+		shards[i%7].Add(x)
+	}
+	var fwd, rev Hist
+	for i := range shards {
+		fwd.Merge(&shards[i])
+		rev.Merge(&shards[len(shards)-1-i])
+	}
+	if !reflect.DeepEqual(single, fwd) || !reflect.DeepEqual(single, rev) {
+		t.Error("sharded histogram merge not byte-identical to single stream")
+	}
+}
+
+// TestHistQuantileRankExact: the quantile's RANK is exact; only the value
+// is quantized to its bucket's upper bound (factor-2 relative envelope).
+func TestHistQuantileRankExact(t *testing.T) {
+	var h Hist
+	// 90 observations in [1,2), 10 in [1024, 2048).
+	for i := 0; i < 90; i++ {
+		h.Add(1.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(1500)
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("p50 = %v, want 2 (upper bound of [1,2))", got)
+	}
+	if got := h.Quantile(0.9); got != 2 {
+		t.Errorf("p90 = %v, want 2 — rank 90 of 100 is still the low mode", got)
+	}
+	if got := h.Quantile(0.91); got != 2048 {
+		t.Errorf("p91 = %v, want 2048 (upper bound of the tail bucket)", got)
+	}
+	if got := h.Quantile(1); got != 2048 {
+		t.Errorf("p100 = %v, want 2048", got)
+	}
+	if got := h.Quantile(0); got != 2 {
+		t.Errorf("p0 = %v, want the first occupied bucket's bound 2", got)
+	}
+	if h.N() != 100 {
+		t.Errorf("N = %d", h.N())
+	}
+}
+
+func TestHistEmptyAndString(t *testing.T) {
+	var h Hist
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Errorf("empty Hist quantile = %v, want NaN", h.Quantile(0.5))
+	}
+	h.Add(0) // "zero messages" cell
+	h.Add(3)
+	h.Add(3)
+	s := h.String()
+	if !strings.Contains(s, "n=3") || !strings.Contains(s, "[2,4)=2") {
+		t.Errorf("String() = %q, want n=3 and bucket [2,4)=2", s)
+	}
+	if h.Bucket(0) != 1 {
+		t.Errorf("zero bucket count = %d, want 1", h.Bucket(0))
+	}
+}

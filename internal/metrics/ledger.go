@@ -32,6 +32,10 @@ const (
 	numClasses
 )
 
+// NumClasses is the number of traffic classes, for callers that keep
+// per-class accumulators (e.g. one Hist per class).
+const NumClasses = int(numClasses)
+
 var _classNames = [numClasses]string{
 	"intra-cluster",
 	"inter-cluster",

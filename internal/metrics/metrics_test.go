@@ -55,6 +55,65 @@ func TestCostString(t *testing.T) {
 	}
 }
 
+// TestEmptyAccumulatorContract pins the shared empty-state contract:
+// Mean/Min/Max/Quantile answer NaN before the first observation — never a
+// silent, plausible-looking 0 — while counts are 0 and Welford's variance
+// keeps its conventional 0 for n < 2.
+func TestEmptyAccumulatorContract(t *testing.T) {
+	var w Welford
+	var s Sample
+	for name, v := range map[string]float64{
+		"Welford.Mean": w.Mean(), "Welford.Min": w.Min(), "Welford.Max": w.Max(),
+		"Sample.Mean": s.Mean(), "Sample.Quantile": s.Quantile(0.5), "Sample.Max": s.Max(),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty %s = %v, want NaN", name, v)
+		}
+	}
+	if w.N() != 0 || s.N() != 0 {
+		t.Errorf("empty counts: welford %d sample %d", w.N(), s.N())
+	}
+	if w.Variance() != 0 || w.StdDev() != 0 {
+		t.Errorf("empty variance/sd = %v/%v, want 0 (documented convention)", w.Variance(), w.StdDev())
+	}
+	// One observation: extremes and mean are that observation, spread 0.
+	w.Add(5)
+	s.Add(5)
+	if w.Mean() != 5 || w.Min() != 5 || w.Max() != 5 || w.Variance() != 0 {
+		t.Errorf("single-observation welford: %v", w.String())
+	}
+	if s.Mean() != 5 || s.Quantile(0.5) != 5 || s.Max() != 5 {
+		t.Errorf("single-observation sample: mean %v p50 %v max %v", s.Mean(), s.Quantile(0.5), s.Max())
+	}
+}
+
+// TestSampleMergeConcatenates: exact-mode merge is concatenation, so a
+// sharded accumulation answers exactly what a single stream would.
+func TestSampleMergeConcatenates(t *testing.T) {
+	var a, b, single Sample
+	for i := 1; i <= 50; i++ {
+		single.Add(float64(i))
+		if i <= 25 {
+			a.Add(float64(i))
+		} else {
+			b.Add(float64(i))
+		}
+	}
+	a.Merge(&b)
+	a.Merge(nil)
+	if a.N() != single.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), single.N())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		if got, want := a.Quantile(q), single.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if a.Mean() != single.Mean() {
+		t.Errorf("Mean = %v, want %v", a.Mean(), single.Mean())
+	}
+}
+
 func TestWelford(t *testing.T) {
 	var w Welford
 	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {

@@ -4,11 +4,18 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"unsafe"
 )
 
 // Welford is a streaming accumulator for mean/variance/min/max using
 // Welford's numerically stable update. The zero value is an empty
 // accumulator.
+//
+// Empty-accumulator contract (shared with Sample, Digest and Dist):
+// Mean, Min and Max return NaN before the first observation, so a
+// forgotten Add surfaces as NaN in a table instead of a silent,
+// plausible-looking 0. Variance alone keeps the conventional 0 for
+// n < 2 (a single observation has zero spread, not undefined spread).
 type Welford struct {
 	n        int64
 	mean, m2 float64
@@ -36,8 +43,13 @@ func (w *Welford) Add(x float64) {
 // N returns the observation count.
 func (w *Welford) N() int64 { return w.n }
 
-// Mean returns the sample mean (0 for an empty accumulator).
-func (w *Welford) Mean() float64 { return w.mean }
+// Mean returns the sample mean (NaN for an empty accumulator).
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
 
 // Variance returns the unbiased sample variance.
 func (w *Welford) Variance() float64 {
@@ -50,21 +62,32 @@ func (w *Welford) Variance() float64 {
 // StdDev returns the sample standard deviation.
 func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
 
-// Min returns the minimum observation (0 for an empty accumulator).
-func (w *Welford) Min() float64 { return w.min }
+// Min returns the minimum observation (NaN for an empty accumulator).
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.min
+}
 
-// Max returns the maximum observation (0 for an empty accumulator).
-func (w *Welford) Max() float64 { return w.max }
+// Max returns the maximum observation (NaN for an empty accumulator).
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.max
+}
 
 // String summarizes the accumulator for table output.
 func (w *Welford) String() string {
 	return fmt.Sprintf("n=%d mean=%.3g sd=%.3g min=%.3g max=%.3g",
-		w.n, w.Mean(), w.StdDev(), w.min, w.max)
+		w.n, w.Mean(), w.StdDev(), w.Min(), w.Max())
 }
 
-// Sample retains all observations so exact quantiles can be computed.
-// For experiment-scale data (<= millions of points) this is simpler and
-// more trustworthy than a sketch.
+// Sample retains all observations so exact quantiles can be computed: it
+// is the oracle the Digest sketch is tested against (oracle_test.go) and
+// the exact mode behind the harness's ExactSamples switch. Memory is O(N),
+// so sweeps at N >= 2^16 use the sketch instead (Dist).
 type Sample struct {
 	xs     []float64
 	sorted bool
@@ -76,13 +99,36 @@ func (s *Sample) Add(x float64) {
 	s.sorted = false
 }
 
+// Merge appends another sample's current history. Quantile results after
+// any merge order are identical to single-stream accumulation (exact
+// quantiles depend only on the multiset). Byte-identity — including the
+// float summation order inside Mean — additionally requires the source
+// not to have been queried yet: Quantile/Max sort xs in place, so a
+// queried source appends in sorted rather than arrival order. Merging
+// unqueried sub-samples in submission order is byte-identical to
+// single-stream accumulation — the exact-mode face of the determinism
+// contract the Digest sketch keeps approximately.
+func (s *Sample) Merge(o *Sample) {
+	if o == nil || len(o.xs) == 0 {
+		return
+	}
+	s.xs = append(s.xs, o.xs...)
+	s.sorted = false
+}
+
 // N returns the observation count.
 func (s *Sample) N() int { return len(s.xs) }
 
-// Mean returns the sample mean (0 when empty).
+// Footprint reports the retained history's memory in bytes — O(N), the
+// quantity the sketch exists to avoid.
+func (s *Sample) Footprint() int {
+	return int(unsafe.Sizeof(*s)) + 8*cap(s.xs)
+}
+
+// Mean returns the sample mean (NaN when empty).
 func (s *Sample) Mean() float64 {
 	if len(s.xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	var total float64
 	for _, x := range s.xs {
@@ -92,10 +138,10 @@ func (s *Sample) Mean() float64 {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation on
-// the sorted sample. It returns 0 when empty.
+// the sorted sample. It returns NaN when empty.
 func (s *Sample) Quantile(q float64) float64 {
 	if len(s.xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	if !s.sorted {
 		sort.Float64s(s.xs)
@@ -117,7 +163,7 @@ func (s *Sample) Quantile(q float64) float64 {
 	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
 }
 
-// Max returns the maximum observation (0 when empty).
+// Max returns the maximum observation (NaN when empty).
 func (s *Sample) Max() float64 { return s.Quantile(1) }
 
 // TVDistance returns the total-variation distance between two discrete

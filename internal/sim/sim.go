@@ -42,6 +42,17 @@ type Config struct {
 	ConsistencyEvery int
 	// SampleOpCosts records per-operation message/round samples.
 	SampleOpCosts bool
+	// ExactSamples selects the per-operation cost accumulator: false (the
+	// default) summarizes each cost series with a fixed-memory quantile
+	// sketch plus per-class log-scale histograms (metrics.Digest /
+	// metrics.Hist), so memory stays O(1) per series no matter how many
+	// operations run — the mode that keeps -full sweeps at N >= 2^16 in
+	// memory. True retains the full observation history (metrics.Sample),
+	// reproducing pre-sketch tables byte for byte; use it at small N or
+	// when regression-diffing outputs. Means, counts and maxima are exact
+	// in BOTH modes; only quantile columns differ, within the sketch's
+	// rank-error bounds.
+	ExactSamples bool
 	// TrackSizes records the size trajectory.
 	TrackSizes bool
 	// Seed drives the strategy's randomness (kept separate from protocol
@@ -84,10 +95,41 @@ func (c Config) validate() error {
 	return nil
 }
 
-// OpCosts holds per-operation cost samples by operation kind.
+// OpCosts holds per-operation cost distributions by operation kind, plus a
+// per-traffic-class histogram of each sampled operation's message count.
+// The series accumulators follow Config.ExactSamples (exact history vs
+// fixed-memory sketch); the class histograms are log-scale and exactly
+// mergeable in both modes.
 type OpCosts struct {
-	JoinMsgs, JoinRounds   metrics.Sample
-	LeaveMsgs, LeaveRounds metrics.Sample
+	JoinMsgs, JoinRounds   metrics.Dist
+	LeaveMsgs, LeaveRounds metrics.Dist
+	// ClassMsgs[c] histograms the per-operation message count charged to
+	// traffic class c across all sampled operations.
+	ClassMsgs [metrics.NumClasses]metrics.Hist
+}
+
+// NewOpCosts returns an empty OpCosts whose series accumulators are in the
+// requested mode — the seed for cross-run aggregation via Merge.
+func NewOpCosts(exact bool) OpCosts {
+	return OpCosts{
+		JoinMsgs:    metrics.NewDist(exact),
+		JoinRounds:  metrics.NewDist(exact),
+		LeaveMsgs:   metrics.NewDist(exact),
+		LeaveRounds: metrics.NewDist(exact),
+	}
+}
+
+// Merge folds another OpCosts into this one in submission order. Modes
+// must match (see metrics.Dist.Merge). Replica sweeps use it to aggregate
+// per-operation cost distributions across runs.
+func (o *OpCosts) Merge(other *OpCosts) {
+	o.JoinMsgs.Merge(&other.JoinMsgs)
+	o.JoinRounds.Merge(&other.JoinRounds)
+	o.LeaveMsgs.Merge(&other.LeaveMsgs)
+	o.LeaveRounds.Merge(&other.LeaveRounds)
+	for c := range o.ClassMsgs {
+		o.ClassMsgs[c].Merge(&other.ClassMsgs[c])
+	}
 }
 
 // Result is the outcome of one run.
@@ -192,6 +234,7 @@ func (r *Runner) Run() (*Result, error) {
 		Initial:    r.world.Audit(),
 		PeakSize:   r.world.NumNodes(),
 		TroughSize: r.world.NumNodes(),
+		OpCosts:    NewOpCosts(r.cfg.ExactSamples),
 	}
 	ledger := r.world.Ledger()
 	startSnap := ledger.Snapshot()
@@ -447,5 +490,12 @@ func (r *Runner) recordOpCost(res *Result, kind adversary.OpKind, snap metrics.S
 	case adversary.OpLeave:
 		res.OpCosts.LeaveMsgs.Add(float64(cost.Messages))
 		res.OpCosts.LeaveRounds.Add(float64(cost.Rounds))
+	}
+	// Every class records every sampled operation — including the zero
+	// charges Cost.ByClass omits — so each histogram's N is the sampled-op
+	// count and its quantiles are true per-op distributions, not
+	// distributions conditioned on the class having been used.
+	for c := 0; c < metrics.NumClasses; c++ {
+		res.OpCosts.ClassMsgs[c].Add(float64(cost.ByClass[metrics.Class(c)]))
 	}
 }

@@ -71,6 +71,38 @@ type (
 	Cost = metrics.Cost
 )
 
+// Streaming statistics types: the fixed-memory accumulators behind
+// SimConfig.ExactSamples=false (the default), which keep wide-range -full
+// sweeps (N up to 2^16 and beyond) in memory. All of them Merge
+// deterministically in submission order, extending the op scheduler's
+// op-order-merge discipline from ledgers to whole distributions.
+type (
+	// Digest is a fixed-memory, deterministically mergeable quantile
+	// sketch (t-digest-style centroids; exact count/mean/min/max).
+	Digest = metrics.Digest
+	// Hist is a bounded log-scale histogram (exactly mergeable; used for
+	// per-traffic-class message counts).
+	Hist = metrics.Hist
+	// CostDist is one cost series summarized exactly (retained history)
+	// or by sketch, per SimConfig.ExactSamples.
+	CostDist = metrics.Dist
+	// SimOpCosts is a simulation's per-operation cost distributions (join/
+	// leave messages and rounds, plus per-class message histograms).
+	SimOpCosts = sim.OpCosts
+	// TrafficClass labels a category of protocol traffic (walk, exchange,
+	// cascade, ...).
+	TrafficClass = metrics.Class
+)
+
+// NumTrafficClasses is the number of traffic classes (SimOpCosts.ClassMsgs
+// has one histogram per class).
+const NumTrafficClasses = metrics.NumClasses
+
+// NewSimOpCosts returns an empty per-operation cost accumulator in the
+// given mode, for aggregating OpCosts across runs via Merge (merge in a
+// fixed run order to keep aggregates deterministic at any parallelism).
+func NewSimOpCosts(exact bool) SimOpCosts { return sim.NewOpCosts(exact) }
+
 // Merge strategies (see DESIGN.md on the paper's ambiguity).
 const (
 	MergeAbsorbRandom = core.MergeAbsorbRandom
