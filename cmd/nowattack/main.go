@@ -16,25 +16,77 @@ import (
 	"nowover"
 )
 
+// config is the parsed command line.
+type config struct {
+	maxN   int
+	tau    float64
+	steps  int
+	seed   uint64
+	attack string
+	k      float64
+}
+
+// parseConfig parses the command line.
+func parseConfig(args []string) (*config, error) {
+	fs := flag.NewFlagSet("nowattack", flag.ContinueOnError)
+	c := &config{}
+	fs.IntVar(&c.maxN, "N", 2048, "name-space bound N")
+	fs.Float64Var(&c.tau, "tau", 0.30, "adversary corruption budget")
+	fs.IntVar(&c.steps, "steps", 2000, "attack duration (time steps)")
+	fs.Uint64Var(&c.seed, "seed", 1, "random seed")
+	fs.StringVar(&c.attack, "attack", "joinleave", "attack: joinleave | dos")
+	fs.Float64Var(&c.k, "k", 5, "cluster size security parameter K")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// simConfig builds the simulation config for one defense arm; shuffle
+// false selects the no-shuffle ablation. Unknown attacks surface here.
+func (c *config) simConfig(shuffle bool) (nowover.SimConfig, error) {
+	cfg := nowover.SimConfig{
+		Core:            nowover.DefaultConfig(c.maxN),
+		InitialSize:     c.maxN / 2,
+		Tau:             c.tau,
+		Steps:           c.steps,
+		Seed:            c.seed,
+		InstallHijacker: true,
+	}
+	cfg.Core.Seed = c.seed
+	cfg.Core.K = c.k
+	cfg.Core.L = 1.6
+	if !shuffle {
+		cfg.Core.ExchangeOnJoin = false
+		cfg.Core.ExchangeOnLeave = false
+		cfg.Core.LeaveCascade = false
+	}
+	budget := nowover.Budget{Tau: c.tau}
+	switch c.attack {
+	case "joinleave":
+		cfg.Strategy = &nowover.JoinLeaveAttack{Budget: budget}
+	case "dos":
+		cfg.Strategy = &nowover.DOSAttack{Budget: budget}
+	default:
+		return cfg, fmt.Errorf("unknown attack %q", c.attack)
+	}
+	return cfg, nil
+}
+
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "nowattack:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		maxN   = flag.Int("N", 2048, "name-space bound N")
-		tau    = flag.Float64("tau", 0.30, "adversary corruption budget")
-		steps  = flag.Int("steps", 2000, "attack duration (time steps)")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		attack = flag.String("attack", "joinleave", "attack: joinleave | dos")
-		k      = flag.Float64("k", 5, "cluster size security parameter K")
-	)
-	flag.Parse()
+func run(args []string) error {
+	c, err := parseConfig(args)
+	if err != nil {
+		return err
+	}
 
-	fmt.Printf("nowattack: %s attack, N=%d tau=%.2f K=%.1f steps=%d\n\n", *attack, *maxN, *tau, *k, *steps)
+	fmt.Printf("nowattack: %s attack, N=%d tau=%.2f K=%.1f steps=%d\n\n", c.attack, c.maxN, c.tau, c.k, c.steps)
 	fmt.Printf("%-22s  %-12s  %-14s  %-14s  %-10s\n",
 		"defense", "maxByzFrac", "degradedEvts", "capturedEvts", "verdict")
 
@@ -45,30 +97,9 @@ func run() error {
 		{"full NOW (shuffled)", true},
 		{"no-shuffle ablation", false},
 	} {
-		cfg := nowover.SimConfig{
-			Core:            nowover.DefaultConfig(*maxN),
-			InitialSize:     *maxN / 2,
-			Tau:             *tau,
-			Steps:           *steps,
-			Seed:            *seed,
-			InstallHijacker: true,
-		}
-		cfg.Core.Seed = *seed
-		cfg.Core.K = *k
-		cfg.Core.L = 1.6
-		if !defense.shuffle {
-			cfg.Core.ExchangeOnJoin = false
-			cfg.Core.ExchangeOnLeave = false
-			cfg.Core.LeaveCascade = false
-		}
-		budget := nowover.Budget{Tau: *tau}
-		switch *attack {
-		case "joinleave":
-			cfg.Strategy = &nowover.JoinLeaveAttack{Budget: budget}
-		case "dos":
-			cfg.Strategy = &nowover.DOSAttack{Budget: budget}
-		default:
-			return fmt.Errorf("unknown attack %q", *attack)
+		cfg, err := c.simConfig(defense.shuffle)
+		if err != nil {
+			return err
 		}
 		res, err := nowover.Simulate(cfg)
 		if err != nil {

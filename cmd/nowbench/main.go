@@ -33,61 +33,105 @@ import (
 	"nowover"
 )
 
+// config is the fully-resolved command configuration: flags parsed,
+// experiment selection validated against the registry.
+type config struct {
+	selected []string
+	full     bool
+	csvDir   string
+	seed     uint64
+	parallel int
+	shards   int
+	grouped  bool
+	exact    bool
+	maxN     int
+}
+
+// parseConfig parses the command line and resolves the experiment
+// selection, so every usage error is reportable without running anything.
+func parseConfig(args []string) (*config, error) {
+	fs := flag.NewFlagSet("nowbench", flag.ContinueOnError)
+	c := &config{}
+	expFlag := fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+	fs.BoolVar(&c.full, "full", false, "use the long-running scale")
+	fs.StringVar(&c.csvDir, "csv", "", "directory to write per-experiment CSV files")
+	fs.Uint64Var(&c.seed, "seed", 1, "random seed")
+	fs.IntVar(&c.parallel, "parallel", 0, "experiment worker count: 1 = serial, 0 = auto (NOWBENCH_PARALLEL, then GOMAXPROCS)")
+	fs.IntVar(&c.shards, "world-shards", 1, "lockable state segments per experiment world (tables are byte-identical at any value; the harness drives ops serially, so this exercises the sharded layout rather than speeding tables up)")
+	fs.BoolVar(&c.grouped, "grouped-cascade", false, "batch leave cascades into one grouped shuffle round per leave (~|C| write footprint instead of ~|C|^2; changes measured costs, tables stay deterministic)")
+	fs.BoolVar(&c.exact, "exact-samples", false, "retain full per-operation cost histories (metrics.Sample) instead of fixed-memory sketches; reproduces pre-sketch tables byte for byte but memory grows with the operation count — avoid with -max-n")
+	fs.IntVar(&c.maxN, "max-n", 0, "extend the N sweep by doubling the top size up to this bound (e.g. 65536 for the 2^16 separation sweep); 0 keeps the selected scale's grid")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	selected, err := resolveExperiments(*expFlag)
+	if err != nil {
+		return nil, err
+	}
+	c.selected = selected
+	return c, nil
+}
+
+// resolveExperiments expands the -exp flag against the registry; an empty
+// selection means every experiment in ID order.
+func resolveExperiments(expFlag string) ([]string, error) {
+	if expFlag == "" {
+		return nowover.ExperimentIDs(), nil
+	}
+	registry := nowover.Experiments()
+	var selected []string
+	for _, id := range strings.Split(expFlag, ",") {
+		id = strings.TrimSpace(id)
+		if _, ok := registry[id]; !ok {
+			return nil, fmt.Errorf("unknown experiment %q (known: %s)",
+				id, strings.Join(nowover.ExperimentIDs(), ", "))
+		}
+		selected = append(selected, id)
+	}
+	return selected, nil
+}
+
+// scale derives the experiment scale from the resolved flags.
+func (c *config) scale() nowover.ExperimentScale {
+	scale := nowover.QuickScale()
+	if c.full {
+		scale = nowover.FullScale()
+	}
+	scale.Seed = c.seed
+	scale.ExactSamples = c.exact
+	if c.maxN > 0 {
+		scale = scale.ExtendTo(c.maxN)
+	}
+	return scale
+}
+
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "nowbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		full     = flag.Bool("full", false, "use the long-running scale")
-		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		parallel = flag.Int("parallel", 0, "experiment worker count: 1 = serial, 0 = auto (NOWBENCH_PARALLEL, then GOMAXPROCS)")
-		shards   = flag.Int("world-shards", 1, "lockable state segments per experiment world (tables are byte-identical at any value; the harness drives ops serially, so this exercises the sharded layout rather than speeding tables up)")
-		grouped  = flag.Bool("grouped-cascade", false, "batch leave cascades into one grouped shuffle round per leave (~|C| write footprint instead of ~|C|^2; changes measured costs, tables stay deterministic)")
-		exact    = flag.Bool("exact-samples", false, "retain full per-operation cost histories (metrics.Sample) instead of fixed-memory sketches; reproduces pre-sketch tables byte for byte but memory grows with the operation count — avoid with -max-n")
-		maxN     = flag.Int("max-n", 0, "extend the N sweep by doubling the top size up to this bound (e.g. 65536 for the 2^16 separation sweep); 0 keeps the selected scale's grid")
-	)
-	flag.Parse()
-
-	nowover.SetParallelism(*parallel)
-	nowover.SetWorldShards(*shards)
-	nowover.SetGroupedCascade(*grouped)
-
-	scale := nowover.QuickScale()
-	if *full {
-		scale = nowover.FullScale()
+func run(args []string) error {
+	c, err := parseConfig(args)
+	if err != nil {
+		return err
 	}
-	scale.Seed = *seed
-	scale.ExactSamples = *exact
-	if *maxN > 0 {
-		scale = scale.ExtendTo(*maxN)
-	}
+
+	nowover.SetParallelism(c.parallel)
+	nowover.SetWorldShards(c.shards)
+	nowover.SetGroupedCascade(c.grouped)
+
+	scale := c.scale()
 	fmt.Printf("nowbench: %d worker(s), %d world shard(s), grouped-cascade=%v, samples=%s, Ns=%v\n\n",
 		nowover.Parallelism(), nowover.WorldShards(), nowover.GroupedCascade(),
-		map[bool]string{false: "sketch", true: "exact"}[*exact], scale.Ns)
+		map[bool]string{false: "sketch", true: "exact"}[c.exact], scale.Ns)
 
-	registry := nowover.Experiments()
-	var selected []string
-	if *expFlag == "" {
-		selected = nowover.ExperimentIDs()
-	} else {
-		for _, id := range strings.Split(*expFlag, ",") {
-			id = strings.TrimSpace(id)
-			if _, ok := registry[id]; !ok {
-				return fmt.Errorf("unknown experiment %q (known: %s)",
-					id, strings.Join(nowover.ExperimentIDs(), ", "))
-			}
-			selected = append(selected, id)
-		}
-	}
-
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+	if c.csvDir != "" {
+		if err := os.MkdirAll(c.csvDir, 0o755); err != nil {
 			return err
 		}
 	}
@@ -98,16 +142,16 @@ func run() error {
 	// aligned with the selection and are rendered in ID order, so output
 	// is byte-identical to a serial sweep at any parallelism.
 	sweepStart := time.Now()
-	tables, err := nowover.RunExperiments(selected, scale)
+	tables, err := nowover.RunExperiments(c.selected, scale)
 	if err != nil {
 		return err
 	}
-	for i, id := range selected {
+	for i, id := range c.selected {
 		if err := tables[i].Render(os.Stdout); err != nil {
 			return err
 		}
-		if *csvDir != "" {
-			f, err := os.Create(filepath.Join(*csvDir, id+".csv"))
+		if c.csvDir != "" {
+			f, err := os.Create(filepath.Join(c.csvDir, id+".csv"))
 			if err != nil {
 				return err
 			}
@@ -121,6 +165,6 @@ func run() error {
 			}
 		}
 	}
-	fmt.Printf("(%d experiment(s) completed in %v)\n", len(selected), time.Since(sweepStart).Round(time.Millisecond))
+	fmt.Printf("(%d experiment(s) completed in %v)\n", len(c.selected), time.Since(sweepStart).Round(time.Millisecond))
 	return nil
 }

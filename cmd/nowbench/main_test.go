@@ -1,0 +1,72 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"nowover"
+)
+
+func TestParseConfigDefaults(t *testing.T) {
+	c, err := parseConfig(nil)
+	if err != nil {
+		t.Fatalf("parseConfig(nil): %v", err)
+	}
+	if !reflect.DeepEqual(c.selected, nowover.ExperimentIDs()) {
+		t.Errorf("default selection = %v, want all experiment IDs", c.selected)
+	}
+	if c.seed != 1 || c.shards != 1 || c.full || c.exact || c.maxN != 0 {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+}
+
+func TestParseConfigSelection(t *testing.T) {
+	c, err := parseConfig([]string{"-exp", "E1, E4"})
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if want := []string{"E1", "E4"}; !reflect.DeepEqual(c.selected, want) {
+		t.Errorf("selection = %v, want %v", c.selected, want)
+	}
+}
+
+func TestParseConfigUnknownExperiment(t *testing.T) {
+	_, err := parseConfig([]string{"-exp", "E1,E999"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("want unknown-experiment error, got %v", err)
+	}
+}
+
+func TestParseConfigBadFlag(t *testing.T) {
+	if _, err := parseConfig([]string{"-no-such-flag"}); err == nil {
+		t.Error("want error for unknown flag")
+	}
+}
+
+func TestParseConfigStrayArgs(t *testing.T) {
+	_, err := parseConfig([]string{"stray"})
+	if err == nil || !strings.Contains(err.Error(), "unexpected arguments") {
+		t.Errorf("want stray-argument error, got %v", err)
+	}
+}
+
+func TestScaleDerivation(t *testing.T) {
+	c, err := parseConfig([]string{"-seed", "7", "-exact-samples"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.scale()
+	if s.Seed != 7 || !s.ExactSamples {
+		t.Errorf("scale seed/exact = %d/%v, want 7/true", s.Seed, s.ExactSamples)
+	}
+
+	c2, err := parseConfig([]string{"-max-n", "65536"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := c2.scale()
+	if top := s2.Ns[len(s2.Ns)-1]; top != 65536 {
+		t.Errorf("extended sweep tops out at %d, want 65536", top)
+	}
+}

@@ -24,131 +24,169 @@ import (
 	"nowover"
 )
 
+// config is the parsed and defaulted command line: n0 and the audit
+// cadence are resolved, the replica count validated.
+type config struct {
+	maxN       int
+	n0         int
+	tau        float64
+	steps      int
+	seed       uint64
+	k          float64
+	schedule   string
+	attack     string
+	noShuffle  bool
+	merge      string
+	every      int
+	runs       int
+	parallel   int
+	shards     int
+	opsPerStep int
+	grouped    bool
+	exact      bool
+	// reportSet records whether -report was given explicitly, so sweep
+	// mode can warn that it will be ignored.
+	reportSet bool
+}
+
+// parseConfig parses the command line and applies the derived defaults.
+func parseConfig(args []string) (*config, error) {
+	fs := flag.NewFlagSet("nowsim", flag.ContinueOnError)
+	c := &config{}
+	fs.IntVar(&c.maxN, "N", 4096, "name-space bound N (max network size)")
+	fs.IntVar(&c.n0, "n0", 0, "initial size (default N/4)")
+	fs.Float64Var(&c.tau, "tau", 0.20, "adversary corruption budget (fraction)")
+	fs.IntVar(&c.steps, "steps", 2000, "time steps to simulate")
+	fs.Uint64Var(&c.seed, "seed", 1, "random seed")
+	fs.Float64Var(&c.k, "k", 2, "cluster size security parameter K")
+	fs.StringVar(&c.schedule, "schedule", "steady", "size schedule: steady | grow | shrink | oscillate | flash")
+	fs.StringVar(&c.attack, "attack", "none", "adversary strategy: none | joinleave | dos")
+	fs.BoolVar(&c.noShuffle, "noshuffle", false, "ablation: disable all shuffling (exchange on join/leave, cascades)")
+	fs.StringVar(&c.merge, "merge", "absorb", "merge strategy: absorb | rejoin")
+	fs.IntVar(&c.every, "report", 0, "print an audit every k steps (default steps/10)")
+	fs.IntVar(&c.runs, "runs", 1, "independent replicas to run (seeds seed..seed+runs-1)")
+	fs.IntVar(&c.parallel, "parallel", 0, "worker count for -runs: 1 = serial, 0 = auto (NOWBENCH_PARALLEL, then GOMAXPROCS)")
+	fs.IntVar(&c.shards, "world-shards", 1, "lockable world-state segments: 1 = serial layout, n > 1 enables intra-world concurrency (results identical at any value)")
+	fs.IntVar(&c.opsPerStep, "ops-per-step", 1, "operations per time step: > 1 batches them through the concurrent op scheduler (incompatible with -attack hijacking)")
+	fs.BoolVar(&c.grouped, "grouped-cascade", false, "batch each leave's cascade into one grouped shuffle round over the receiver set (~|C| write footprint instead of ~|C|^2)")
+	fs.BoolVar(&c.exact, "exact-samples", false, "retain full per-operation cost histories instead of fixed-memory sketches (pre-sketch output byte for byte; memory grows with -steps)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "report" {
+			c.reportSet = true
+		}
+	})
+	if c.n0 == 0 {
+		c.n0 = c.maxN / 4
+	}
+	if c.every == 0 {
+		c.every = c.steps / 10
+		if c.every == 0 {
+			c.every = 1
+		}
+	}
+	if c.runs < 1 {
+		return nil, fmt.Errorf("-runs must be >= 1, got %d", c.runs)
+	}
+	return c, nil
+}
+
+// simConfig builds the simulation config for one replica seed. Selection
+// errors (unknown schedule, attack or merge strategy) surface here.
+func (c *config) simConfig(runSeed uint64) (nowover.SimConfig, error) {
+	cfg := nowover.SimConfig{
+		Core:          nowover.DefaultConfig(c.maxN),
+		InitialSize:   c.n0,
+		Tau:           c.tau,
+		Steps:         c.steps,
+		Seed:          runSeed,
+		AuditEvery:    c.every,
+		SampleOpCosts: true,
+		ExactSamples:  c.exact,
+	}
+	cfg.Core.Seed = runSeed
+	cfg.Core.K = c.k
+	cfg.Core.Shards = c.shards
+	cfg.Core.GroupedCascade = c.grouped
+	cfg.OpsPerStep = c.opsPerStep
+	if c.noShuffle {
+		cfg.Core.ExchangeOnJoin = false
+		cfg.Core.ExchangeOnLeave = false
+		cfg.Core.LeaveCascade = false
+	}
+	switch c.merge {
+	case "absorb":
+		cfg.Core.MergeStrategy = nowover.MergeAbsorbRandom
+	case "rejoin":
+		cfg.Core.MergeStrategy = nowover.MergeRejoinAll
+	default:
+		return cfg, fmt.Errorf("unknown merge strategy %q", c.merge)
+	}
+
+	switch c.schedule {
+	case "steady":
+		cfg.Schedule = nowover.Steady{Size: c.n0}
+	case "grow":
+		cfg.Schedule = nowover.Linear{From: c.n0, To: c.maxN, Steps: c.steps}
+	case "shrink":
+		cfg.Schedule = nowover.Linear{From: c.n0, To: c.n0 / 4, Steps: c.steps}
+	case "oscillate":
+		cfg.Schedule = nowover.Oscillate{Lo: c.n0 / 2, Hi: c.n0 * 2, Period: c.steps / 2}
+	case "flash":
+		cfg.Schedule = nowover.FlashCrowd{Base: c.n0, Peak: c.n0 * 2, SpikeAt: c.steps / 3, SpikeLen: c.steps / 3}
+	default:
+		return cfg, fmt.Errorf("unknown schedule %q", c.schedule)
+	}
+
+	budget := nowover.Budget{Tau: c.tau}
+	switch c.attack {
+	case "none":
+		// default RandomChurn
+	case "joinleave":
+		cfg.Strategy = &nowover.JoinLeaveAttack{Budget: budget}
+		cfg.InstallHijacker = true
+	case "dos":
+		cfg.Strategy = &nowover.DOSAttack{Budget: budget}
+		cfg.InstallHijacker = true
+	default:
+		return cfg, fmt.Errorf("unknown attack %q", c.attack)
+	}
+	return cfg, nil
+}
+
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "nowsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		maxN       = flag.Int("N", 4096, "name-space bound N (max network size)")
-		n0         = flag.Int("n0", 0, "initial size (default N/4)")
-		tau        = flag.Float64("tau", 0.20, "adversary corruption budget (fraction)")
-		steps      = flag.Int("steps", 2000, "time steps to simulate")
-		seed       = flag.Uint64("seed", 1, "random seed")
-		k          = flag.Float64("k", 2, "cluster size security parameter K")
-		schedule   = flag.String("schedule", "steady", "size schedule: steady | grow | shrink | oscillate | flash")
-		attack     = flag.String("attack", "none", "adversary strategy: none | joinleave | dos")
-		noShuffle  = flag.Bool("noshuffle", false, "ablation: disable all shuffling (exchange on join/leave, cascades)")
-		merge      = flag.String("merge", "absorb", "merge strategy: absorb | rejoin")
-		every      = flag.Int("report", 0, "print an audit every k steps (default steps/10)")
-		runs       = flag.Int("runs", 1, "independent replicas to run (seeds seed..seed+runs-1)")
-		parallel   = flag.Int("parallel", 0, "worker count for -runs: 1 = serial, 0 = auto (NOWBENCH_PARALLEL, then GOMAXPROCS)")
-		shards     = flag.Int("world-shards", 1, "lockable world-state segments: 1 = serial layout, n > 1 enables intra-world concurrency (results identical at any value)")
-		opsPerStep = flag.Int("ops-per-step", 1, "operations per time step: > 1 batches them through the concurrent op scheduler (incompatible with -attack hijacking)")
-		grouped    = flag.Bool("grouped-cascade", false, "batch each leave's cascade into one grouped shuffle round over the receiver set (~|C| write footprint instead of ~|C|^2)")
-		exact      = flag.Bool("exact-samples", false, "retain full per-operation cost histories instead of fixed-memory sketches (pre-sketch output byte for byte; memory grows with -steps)")
-	)
-	flag.Parse()
-
-	if *n0 == 0 {
-		*n0 = *maxN / 4
+func run(args []string) error {
+	c, err := parseConfig(args)
+	if err != nil {
+		return err
 	}
-	if *every == 0 {
-		*every = *steps / 10
-		if *every == 0 {
-			*every = 1
-		}
+	if c.runs > 1 && c.reportSet {
+		fmt.Fprintln(os.Stderr, "nowsim: -report is ignored with -runs > 1 (replica sweeps print summaries, not audit timelines)")
 	}
-	if *runs < 1 {
-		return fmt.Errorf("-runs must be >= 1, got %d", *runs)
-	}
-	if *runs > 1 {
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "report" {
-				fmt.Fprintln(os.Stderr, "nowsim: -report is ignored with -runs > 1 (replica sweeps print summaries, not audit timelines)")
-			}
-		})
-	}
-	nowover.SetParallelism(*parallel)
-
-	makeConfig := func(runSeed uint64) (nowover.SimConfig, error) {
-		cfg := nowover.SimConfig{
-			Core:          nowover.DefaultConfig(*maxN),
-			InitialSize:   *n0,
-			Tau:           *tau,
-			Steps:         *steps,
-			Seed:          runSeed,
-			AuditEvery:    *every,
-			SampleOpCosts: true,
-			ExactSamples:  *exact,
-		}
-		cfg.Core.Seed = runSeed
-		cfg.Core.K = *k
-		cfg.Core.Shards = *shards
-		cfg.Core.GroupedCascade = *grouped
-		cfg.OpsPerStep = *opsPerStep
-		if *noShuffle {
-			cfg.Core.ExchangeOnJoin = false
-			cfg.Core.ExchangeOnLeave = false
-			cfg.Core.LeaveCascade = false
-		}
-		switch *merge {
-		case "absorb":
-			cfg.Core.MergeStrategy = nowover.MergeAbsorbRandom
-		case "rejoin":
-			cfg.Core.MergeStrategy = nowover.MergeRejoinAll
-		default:
-			return cfg, fmt.Errorf("unknown merge strategy %q", *merge)
-		}
-
-		switch *schedule {
-		case "steady":
-			cfg.Schedule = nowover.Steady{Size: *n0}
-		case "grow":
-			cfg.Schedule = nowover.Linear{From: *n0, To: *maxN, Steps: *steps}
-		case "shrink":
-			cfg.Schedule = nowover.Linear{From: *n0, To: *n0 / 4, Steps: *steps}
-		case "oscillate":
-			cfg.Schedule = nowover.Oscillate{Lo: *n0 / 2, Hi: *n0 * 2, Period: *steps / 2}
-		case "flash":
-			cfg.Schedule = nowover.FlashCrowd{Base: *n0, Peak: *n0 * 2, SpikeAt: *steps / 3, SpikeLen: *steps / 3}
-		default:
-			return cfg, fmt.Errorf("unknown schedule %q", *schedule)
-		}
-
-		budget := nowover.Budget{Tau: *tau}
-		switch *attack {
-		case "none":
-			// default RandomChurn
-		case "joinleave":
-			cfg.Strategy = &nowover.JoinLeaveAttack{Budget: budget}
-			cfg.InstallHijacker = true
-		case "dos":
-			cfg.Strategy = &nowover.DOSAttack{Budget: budget}
-			cfg.InstallHijacker = true
-		default:
-			return cfg, fmt.Errorf("unknown attack %q", *attack)
-		}
-		return cfg, nil
-	}
+	nowover.SetParallelism(c.parallel)
 
 	// Validate the flag set once before fanning out.
-	refCfg, err := makeConfig(*seed)
+	refCfg, err := c.simConfig(c.seed)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("nowsim: N=%d n0=%d tau=%.2f K=%.1f steps=%d schedule=%s attack=%s shuffle=%v merge=%s shards=%d ops/step=%d grouped-cascade=%v\n",
-		*maxN, *n0, *tau, *k, *steps, *schedule, *attack, !*noShuffle, *merge, *shards, *opsPerStep, *grouped)
+		c.maxN, c.n0, c.tau, c.k, c.steps, c.schedule, c.attack, !c.noShuffle, c.merge, c.shards, c.opsPerStep, c.grouped)
 	fmt.Printf("cluster size target %d (split >%d, merge <%d), overlay degree target %d (cap %d)\n\n",
 		refCfg.Core.TargetClusterSize(), refCfg.Core.SplitThreshold(), refCfg.Core.MergeThreshold(),
 		refCfg.Core.TargetDegree(), refCfg.Core.DegreeCap())
 
-	if *runs > 1 {
-		return runReplicas(makeConfig, *seed, *runs, *exact)
+	if c.runs > 1 {
+		return runReplicas(c.simConfig, c.seed, c.runs, c.exact)
 	}
 
 	res, err := nowover.Simulate(refCfg)
@@ -158,7 +196,7 @@ func run() error {
 
 	fmt.Println("step timeline (sampled):")
 	for i, a := range res.Audits {
-		fmt.Printf("  t=%-6d %s\n", i**every, a)
+		fmt.Printf("  t=%-6d %s\n", i*c.every, a)
 	}
 	fmt.Printf("\nfinal: %s\n", res.Final.String())
 	fmt.Printf("stats: joins=%d leaves=%d splits=%d merges=%d swaps=%d\n",
@@ -179,7 +217,7 @@ func run() error {
 			res.OpCosts.JoinMsgs.Mean(), res.OpCosts.JoinMsgs.Quantile(0.95),
 			res.OpCosts.LeaveMsgs.Mean(), res.OpCosts.LeaveMsgs.Quantile(0.95))
 	}
-	if !*exact {
+	if !c.exact {
 		printClassHists(&res.OpCosts)
 	}
 	verdict := "HELD"

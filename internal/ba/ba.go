@@ -23,6 +23,7 @@ package ba
 
 import (
 	"fmt"
+	"sort"
 
 	"nowover/internal/metrics"
 )
@@ -81,7 +82,14 @@ func (c Config) validate() error {
 	if len(c.Inputs) != c.N {
 		return fmt.Errorf("ba: %d inputs for committee of %d", len(c.Inputs), c.N)
 	}
+	// Sorted walk so which out-of-range index gets reported is a function
+	// of the config, not of map iteration order.
+	idxs := make([]int, 0, len(c.Byzantine))
 	for i := range c.Byzantine {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
 		if i < 0 || i >= c.N {
 			return fmt.Errorf("ba: byzantine index %d out of range", i)
 		}

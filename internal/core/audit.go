@@ -62,7 +62,11 @@ func (w *World) Audit() Audit {
 	first := true
 	for _, s := range w.shards {
 		s.mu.RLock()
-		for _, cs := range s.clusters {
+		// Sorted walk: min/max/fraction folds are commutative, but the
+		// audit is part of rendered output and the determinism contract is
+		// cheaper to hold uniformly than to re-prove per fold.
+		for _, c := range sortedKeys(s.clusters) {
+			cs := s.clusters[c]
 			size := len(cs.members)
 			if first {
 				a.MinSize, a.MaxSize = size, size
@@ -123,7 +127,11 @@ func (w *World) CheckConsistency() error {
 	for si, s := range w.shards {
 		shardMax := 0
 		sizes := make(map[int]int)
-		for c, cs := range s.clusters {
+		// Sorted walks below: which inconsistency CheckConsistency reports
+		// first is observable output (test logs, the simulator's paranoid
+		// mode), so the walk order must not depend on the map hash seed.
+		for _, c := range sortedKeys(s.clusters) {
+			cs := s.clusters[c]
 			if w.shardFor(c) != s {
 				return fmt.Errorf("consistency: cluster %v stored in wrong shard %d", c, si)
 			}
@@ -164,13 +172,13 @@ func (w *World) CheckConsistency() error {
 		if shardMax > maxSize {
 			maxSize = shardMax
 		}
-		for sz, n := range sizes {
-			if s.sizeCount[sz] != n {
-				return fmt.Errorf("consistency: shard %d size multiset at %d is %d, actual %d", si, sz, s.sizeCount[sz], n)
+		for _, sz := range sortedKeys(sizes) {
+			if s.sizeCount[sz] != sizes[sz] {
+				return fmt.Errorf("consistency: shard %d size multiset at %d is %d, actual %d", si, sz, s.sizeCount[sz], sizes[sz])
 			}
 		}
-		for sz, n := range s.sizeCount {
-			if sizes[sz] != n {
+		for _, sz := range sortedKeys(s.sizeCount) {
+			if n := s.sizeCount[sz]; sizes[sz] != n {
 				return fmt.Errorf("consistency: shard %d size multiset extra entry %d=%d", si, sz, n)
 			}
 		}
@@ -194,7 +202,8 @@ func (w *World) CheckConsistency() error {
 		}
 	}
 	for _, ns := range w.nodeShards {
-		for x, info := range ns.nodes {
+		for _, x := range sortedKeys(ns.nodes) {
+			info := ns.nodes[x]
 			if _, ok := w.nodePos[x]; !ok {
 				return fmt.Errorf("consistency: node %v missing from flat index", x)
 			}

@@ -36,7 +36,11 @@ func CheckInvariants(w *World) error {
 	clusters := ids.NewClusterSet()
 	for _, s := range w.shards {
 		s.mu.RLock()
-		for c, cs := range s.clusters {
+		// Sorted walk: which violated invariant gets reported is part of
+		// the oracle's observable output, so the scan order must come from
+		// the cluster IDs, not the map hash seed.
+		for _, c := range sortedKeys(s.clusters) {
+			cs := s.clusters[c]
 			clusters.Add(c)
 			size := len(cs.members)
 			if size == 0 {

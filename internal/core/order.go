@@ -1,0 +1,60 @@
+package core
+
+import (
+	"cmp"
+	"slices"
+
+	"nowover/internal/ids"
+)
+
+// Deterministic map-walk helpers. The determinism contract (byte-identical
+// tables and ledgers at any parallelism or shard count) forbids letting Go's
+// randomized map iteration order reach any observable output — including
+// which invariant violation an oracle reports first. Every cluster/node map
+// walk that feeds output, errors, or order-sensitive folds iterates one of
+// these sorted key slices instead; `nowlint`'s map-order rule enforces the
+// discipline mechanically.
+
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	return sortedKeysInto(make([]K, 0, len(m)), m)
+}
+
+// sortedKeysInto appends m's keys to buf[:0] and sorts them, reusing buf's
+// backing array. Hot per-operation walks (settleSecurity) use this with a
+// retained scratch slice so sorted iteration stays allocation-free.
+func sortedKeysInto[K cmp.Ordered, V any](buf []K, m map[K]V) []K {
+	buf = buf[:0]
+	for k := range m {
+		buf = append(buf, k)
+	}
+	slices.Sort(buf)
+	return buf
+}
+
+// lockShardPair is the canonical ordered-acquire helper for operations
+// whose footprint spans two cluster shards: it locks the shards owning a
+// and b in ascending shard-index order (one lock when they collide) and
+// returns the matching release. Taking two shard locks any other way can
+// deadlock against a concurrent acquirer of the same pair in the opposite
+// order, so nowlint's shard-lock-order rule flags every ad-hoc second
+// Lock in this package and points here.
+func (w *World) lockShardPair(a, b ids.ClusterID) (release func()) {
+	ia := uint64(a) % uint64(len(w.shards))
+	ib := uint64(b) % uint64(len(w.shards))
+	if ia == ib {
+		s := w.shards[ia]
+		s.mu.Lock()
+		return s.mu.Unlock
+	}
+	if ia > ib {
+		ia, ib = ib, ia
+	}
+	lo, hi := w.shards[ia], w.shards[ib]
+	lo.mu.Lock()
+	hi.mu.Lock()
+	return func() {
+		hi.mu.Unlock()
+		lo.mu.Unlock()
+	}
+}

@@ -321,6 +321,11 @@ type World struct {
 	rejoinByz     map[ids.NodeID]bool
 	stats         Stats
 	bootstrapped  bool
+
+	// clusterScratch is settleSecurity's reusable sorted-key buffer
+	// (serial contexts only), keeping the per-operation sorted cluster
+	// walk allocation-free.
+	clusterScratch []ids.ClusterID
 }
 
 // Interface compliance: the world is the topology the primitives run over.
@@ -483,6 +488,11 @@ func (w *World) insertMember(c ids.ClusterID, x ids.NodeID, byz bool) error {
 	s := w.shardFor(c)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.insertLocked(c, x, byz)
+}
+
+// insertLocked is insertMember's body; the caller holds s.mu.
+func (s *worldShard) insertLocked(c ids.ClusterID, x ids.NodeID, byz bool) error {
 	cs, ok := s.clusters[c]
 	if !ok {
 		return fmt.Errorf("core: insert into unknown cluster %v", c)
@@ -499,6 +509,11 @@ func (w *World) removeMember(c ids.ClusterID, x ids.NodeID, byz bool) error {
 	s := w.shardFor(c)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.removeLocked(c, x, byz)
+}
+
+// removeLocked is removeMember's body; the caller holds s.mu.
+func (s *worldShard) removeLocked(c ids.ClusterID, x ids.NodeID, byz bool) error {
 	cs, ok := s.clusters[c]
 	if !ok {
 		return fmt.Errorf("core: remove from unknown cluster %v", c)
@@ -613,14 +628,16 @@ func (w *World) Transfer(x ids.NodeID, from, to ids.ClusterID) error {
 // applyTransfer performs the raw cluster-and-node-record relocation without
 // validation or swap accounting. Used by Transfer and by the scheduler's
 // apply phase (where admitted plans guarantee validity and stats come from
-// the plan deltas). The two shard mutations are sequential — no observer
-// may read the footprint clusters mid-move, which the scheduler's conflict
-// admission guarantees.
+// the plan deltas). Both footprint shards are held for the whole move via
+// the canonical ordered-acquire helper, so no reader can observe x
+// removed from one cluster but not yet inserted into the other.
 func (w *World) applyTransfer(x ids.NodeID, from, to ids.ClusterID, byz bool) error {
-	if err := w.removeMember(from, x, byz); err != nil {
+	release := w.lockShardPair(from, to)
+	defer release()
+	if err := w.shardFor(from).removeLocked(from, x, byz); err != nil {
 		return err
 	}
-	if err := w.insertMember(to, x, byz); err != nil {
+	if err := w.shardFor(to).insertLocked(to, x, byz); err != nil {
 		return err
 	}
 	w.setNodeInfo(x, nodeInfo{cluster: to, byz: byz})
@@ -637,7 +654,13 @@ func (w *World) applyTransfer(x ids.NodeID, from, to ids.ClusterID, byz bool) er
 func (w *World) settleSecurity() {
 	for _, s := range w.shards {
 		s.mu.Lock()
-		for c, cs := range s.clusters {
+		// Sorted cluster walk: the folds below are commutative today, but
+		// the settled-transition accounting is exactly the kind of logic
+		// that grows order-sensitive branches; fixing the order keeps the
+		// whole pass trivially deterministic (and nowlint-clean).
+		w.clusterScratch = sortedKeysInto(w.clusterScratch, s.clusters)
+		for _, c := range w.clusterScratch {
+			cs := s.clusters[c]
 			size := len(cs.members)
 			if size == 0 {
 				delete(s.settled, c)

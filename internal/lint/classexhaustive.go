@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ClassExhaustive verifies that every switch and every fixed-size array
+// indexed by metrics.Class accounts for all NumClasses traffic classes.
+// Classes are appended over time (ClassCascade arrived in PR 3); a stale
+// `[8]Hist` table or a switch missing the new class would silently drop
+// that traffic from every ledger and table, which the dynamic suites only
+// catch if a test asserts on the new class specifically.
+//
+//   - an array indexed by a metrics.Class value must have exactly
+//     metrics.NumClasses elements;
+//   - a switch whose tag is a metrics.Class must either carry a default
+//     clause or enumerate every class value.
+var ClassExhaustive = &Analyzer{
+	Name: "class-exhaustive",
+	Key:  "classes",
+	Doc:  "switches and arrays indexed by metrics.Class cover all NumClasses traffic classes",
+	Run:  runClassExhaustive,
+}
+
+func runClassExhaustive(p *Pass) {
+	numClasses, ok := lookupConstInt(p, metricsPath, "NumClasses")
+	if !ok {
+		return // package neither is nor imports metrics: rule cannot apply
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.IndexExpr:
+				checkClassIndex(p, x, numClasses)
+			case *ast.SwitchStmt:
+				checkClassSwitch(p, x, numClasses)
+			}
+			return true
+		})
+	}
+}
+
+// isClassType reports whether t is metrics.Class (possibly via pointer).
+func isClassType(t types.Type) bool {
+	return namedAs(t, metricsPath, "Class")
+}
+
+func checkClassIndex(p *Pass, idx *ast.IndexExpr, numClasses int64) {
+	if !isClassType(p.TypeOf(idx.Index)) {
+		return
+	}
+	t := p.TypeOf(idx.X)
+	if t == nil {
+		return
+	}
+	arr, ok := deref(t).Underlying().(*types.Array)
+	if !ok {
+		return
+	}
+	if arr.Len() != numClasses {
+		p.Reportf(idx.Pos(), "array %s has %d elements but is indexed by a metrics.Class (NumClasses = %d); size it [metrics.NumClasses]T so appended classes cannot truncate the table",
+			types.ExprString(idx.X), arr.Len(), numClasses)
+	}
+}
+
+func checkClassSwitch(p *Pass, sw *ast.SwitchStmt, numClasses int64) {
+	if sw.Tag == nil || !isClassType(p.TypeOf(sw.Tag)) {
+		return
+	}
+	covered := make(map[int64]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default clause: future classes are handled
+		}
+		for _, e := range cc.List {
+			if tv, ok := p.Pkg.Info.Types[e]; ok && tv.Value != nil {
+				if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+					covered[v] = true
+				}
+			}
+		}
+	}
+	missing := int64(0)
+	for c := int64(0); c < numClasses; c++ {
+		if !covered[c] {
+			missing++
+		}
+	}
+	if missing > 0 {
+		p.Reportf(sw.Pos(), "switch on metrics.Class covers %d of %d classes and has no default clause; an appended traffic class would fall through silently",
+			int64(len(covered)), numClasses)
+	}
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatFoldOrder flags compound floating-point accumulation (+=, -=, *=,
+// /=) into state declared outside the fold context, when the fold order
+// is not deterministic: inside a map-range body, a channel-range body
+// (goroutine fan-in), or a `go` function literal. Float addition is not
+// associative, so the same multiset of observations folded in two orders
+// produces different bits — the hazard PR 5's digest merge-equivalence
+// suite had to pin down dynamically. Deterministic orders (slices,
+// integer counters) are untouched.
+var FloatFoldOrder = &Analyzer{
+	Name: "float-fold-order",
+	Key:  "floatfold",
+	Doc:  "no floating-point += accumulation inside map-range, channel fan-in, or goroutine bodies",
+	Run:  runFloatFoldOrder,
+}
+
+func runFloatFoldOrder(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		reported := make(map[token.Pos]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				t := p.TypeOf(x.X)
+				switch {
+				case isMap(t):
+					scanFloatFolds(p, x.Body, "a map-range body (iteration order varies)", reported)
+				case isChan(t):
+					scanFloatFolds(p, x.Body, "a channel fan-in body (arrival order varies)", reported)
+				}
+			case *ast.GoStmt:
+				if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+					scanFloatFolds(p, lit.Body, "a goroutine body (scheduling order varies)", reported)
+				}
+			}
+			return true
+		})
+	}
+}
+
+var compoundOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true,
+	token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true,
+}
+
+func scanFloatFolds(p *Pass, body *ast.BlockStmt, context string, reported map[token.Pos]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !compoundOps[as.Tok] || reported[as.Pos()] {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if !isFloat(p.TypeOf(lhs)) {
+				continue
+			}
+			id := baseIdent(lhs)
+			if id == nil {
+				continue
+			}
+			obj := p.ObjectOf(id)
+			if obj != nil && !declaredWithin(obj, body) {
+				reported[as.Pos()] = true
+				p.Reportf(as.Pos(), "floating-point accumulation `%s %s ...` inside %s; float addition is not associative — fold into a deterministic order (sorted keys, op-ordered merge) or keep exact integer units",
+					types.ExprString(lhs), as.Tok, context)
+				break
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ShardLockOrder polices multi-shard locking in internal/core. The world
+// partitions cluster and node state across independently lockable shards;
+// any operation that must hold TWO shard locks at once can deadlock
+// against a concurrent operation acquiring the same pair in the opposite
+// order — unless both go through the canonical ordered-acquire helper
+// (*World).lockShardPair, which always locks the lower shard index first.
+// The rule flags a function body that acquires a second distinct
+// worldShard/nodeShard mutex while one is still held.
+//
+// The check is intraprocedural and source-ordered: a heuristic, but one
+// that exactly matches how the core package writes its critical sections
+// (lock and unlock textually paired inside one function).
+var ShardLockOrder = &Analyzer{
+	Name: "shard-lock-order",
+	Key:  "lockorder",
+	Doc:  "multi-shard lock acquisition in internal/core goes through (*World).lockShardPair, never ad-hoc Lock pairs",
+	Run:  runShardLockOrder,
+}
+
+// canonicalLockHelper is the one function allowed to acquire two shard
+// locks directly.
+const canonicalLockHelper = "lockShardPair"
+
+type lockEvent struct {
+	pos      token.Pos
+	expr     string // the mutex owner expression, e.g. "s.mu"
+	acquire  bool
+	deferred bool
+}
+
+func runShardLockOrder(p *Pass) {
+	if p.Pkg.ImportPath != corePath {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name == canonicalLockHelper {
+				continue
+			}
+			checkLockPairs(p, fd)
+		}
+	}
+}
+
+func checkLockPairs(p *Pass, fd *ast.FuncDecl) {
+	var events []lockEvent
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if ev, ok := shardLockCall(p, x.Call); ok {
+				ev.deferred = true
+				events = append(events, ev)
+			}
+			return false // args of the deferred call cannot lock shards here
+		case *ast.CallExpr:
+			if ev, ok := shardLockCall(p, x); ok {
+				events = append(events, ev)
+			}
+		}
+		return true
+	})
+	// ast.Inspect is preorder, which matches source order for statements,
+	// but sort defensively so nested expressions cannot reorder events.
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := make(map[string]int)
+	heldCount := 0
+	for _, ev := range events {
+		switch {
+		case ev.acquire:
+			if heldCount > 0 && held[ev.expr] == 0 {
+				p.Reportf(ev.pos, "second shard lock %s.Lock acquired while another shard lock is held; acquire multi-shard footprints through (*World).%s (index-ordered, deadlock-free)",
+					ev.expr, canonicalLockHelper)
+			}
+			held[ev.expr]++
+			heldCount++
+		case ev.deferred:
+			// A deferred unlock releases at return, not here: the lock
+			// stays held for the rest of the body.
+		default:
+			if held[ev.expr] > 0 {
+				held[ev.expr]--
+				heldCount--
+			}
+		}
+	}
+}
+
+// shardLockCall recognizes <expr>.mu.Lock/RLock/Unlock/RUnlock() where
+// <expr> has a shard type (worldShard or nodeShard in internal/core).
+func shardLockCall(p *Pass, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	name := sel.Sel.Name
+	acquire := name == "Lock" || name == "RLock"
+	release := name == "Unlock" || name == "RUnlock"
+	if !acquire && !release {
+		return lockEvent{}, false
+	}
+	// The mutex must be a field of a shard-typed owner: owner.mu.Lock().
+	muSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || muSel.Sel.Name != "mu" {
+		return lockEvent{}, false
+	}
+	ownerType := p.TypeOf(muSel.X)
+	if ownerType == nil {
+		return lockEvent{}, false
+	}
+	if !namedAs(ownerType, corePath, "worldShard") && !namedAs(ownerType, corePath, "nodeShard") {
+		return lockEvent{}, false
+	}
+	return lockEvent{
+		pos:     call.Pos(),
+		expr:    types.ExprString(sel.X),
+		acquire: acquire,
+	}, true
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// RNGDiscipline enforces the repo's randomness funnel: all stochastic
+// behavior in simulation-reachable packages flows through internal/xrand
+// streams (seeded, splittable) so a run is a pure function of its seed.
+// It forbids importing math/rand, math/rand/v2 or crypto/rand, and calling
+// time.Now/time.Since, anywhere except:
+//
+//   - internal/xrand itself (the one sanctioned math/rand/v2 wrapper),
+//   - cmd/* and examples/* (wall-clock reporting for humans is fine —
+//     nothing a command prints about elapsed time feeds a table).
+var RNGDiscipline = &Analyzer{
+	Name: "rng-discipline",
+	Key:  "rng",
+	Doc:  "simulation-reachable packages draw randomness only via internal/xrand and never read the wall clock",
+	Run:  runRNGDiscipline,
+}
+
+// forbiddenImports are randomness sources that bypass the seeded funnel.
+var forbiddenImports = map[string]string{
+	"math/rand":    "an unseeded (or globally seeded) RNG",
+	"math/rand/v2": "an RNG outside the xrand funnel",
+	"crypto/rand":  "a nondeterministic entropy source",
+}
+
+// rngExempt reports whether a package is outside the rule's scope.
+func rngExempt(importPath string) bool {
+	if importPath == xrandPath {
+		return true
+	}
+	for _, prefix := range [...]string{"nowover/cmd/", "nowover/examples/"} {
+		if strings.HasPrefix(importPath, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runRNGDiscipline(p *Pass) {
+	if rngExempt(p.Pkg.ImportPath) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, bad := forbiddenImports[path]; bad {
+				p.Reportf(imp.Pos(), "import of %s (%s) in a simulation-reachable package; draw from an *xrand.Rand substream (rng.Split) instead", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, name, ok := pkgFuncCall(p, call); ok && path == "time" && (name == "Now" || name == "Since") {
+				p.Reportf(call.Pos(), "time.%s in a simulation-reachable package reads the wall clock; simulation time is the step counter, and wall-clock reporting belongs in cmd/", name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"strings"
+)
+
+// Suppression comments silence one rule at one site, and every one must
+// carry a written justification:
+//
+//	//nowlint:ordered cluster walk only folds commutative integer counters
+//	//nowlint:file:rng this command reports wall-clock timings to the user
+//
+// The first form, on its own line or trailing the flagged line, suppresses
+// the rule on that line and the next (so it can sit directly above a
+// `for ... range` statement). The second form, anywhere in the file,
+// suppresses the rule for the whole file. The keyword after the colon is
+// the rule's suppression key (e.g. "ordered" for map-order) or its full
+// name. A suppression with no justification text, or naming no known
+// rule, is itself reported under the "suppression" rule.
+const suppressionPrefix = "//nowlint:"
+
+// fileSuppressions records where each rule is silenced within one file.
+type fileSuppressions struct {
+	wholeFile map[string]bool         // rule name -> suppressed everywhere
+	lines     map[int]map[string]bool // line -> rule names suppressed there
+}
+
+// suppresses reports whether rule is silenced at the given line. A
+// line-scoped comment covers its own line and the one after it.
+func (fs *fileSuppressions) suppresses(rule string, line int) bool {
+	if fs.wholeFile[rule] {
+		return true
+	}
+	if fs.lines[line][rule] || fs.lines[line-1][rule] {
+		return true
+	}
+	return false
+}
+
+// collectSuppressions parses every //nowlint: comment in the package. It
+// returns the per-file suppression tables plus diagnostics for malformed
+// suppressions (missing justification or unknown rule key).
+func collectSuppressions(pkg *Package, analyzers []*Analyzer) (map[string]*fileSuppressions, []Diagnostic) {
+	out := make(map[string]*fileSuppressions)
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, suppressionPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, suppressionPrefix)
+				fileScoped := false
+				if strings.HasPrefix(rest, "file:") {
+					fileScoped = true
+					rest = strings.TrimPrefix(rest, "file:")
+				}
+				key, reason, _ := strings.Cut(rest, " ")
+				key = strings.TrimSpace(key)
+				reason = strings.TrimSpace(reason)
+				a := AnalyzerByKey(key, analyzers)
+				if a == nil {
+					diags = append(diags, Diagnostic{
+						Pos:  pos,
+						Rule: "suppression",
+						Msg:  "unknown rule key \"" + key + "\" in //nowlint comment",
+					})
+					continue
+				}
+				if reason == "" {
+					diags = append(diags, Diagnostic{
+						Pos:  pos,
+						Rule: "suppression",
+						Msg:  "suppression of [" + a.Name + "] has no justification; write //nowlint:" + key + " <why this site cannot break determinism>",
+					})
+					continue
+				}
+				fs := out[pos.Filename]
+				if fs == nil {
+					fs = &fileSuppressions{
+						wholeFile: make(map[string]bool),
+						lines:     make(map[int]map[string]bool),
+					}
+					out[pos.Filename] = fs
+				}
+				if fileScoped {
+					fs.wholeFile[a.Name] = true
+				} else {
+					if fs.lines[pos.Line] == nil {
+						fs.lines[pos.Line] = make(map[string]bool)
+					}
+					fs.lines[pos.Line][a.Name] = true
+				}
+			}
+		}
+	}
+	return out, diags
+}

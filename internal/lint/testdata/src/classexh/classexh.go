@@ -1,0 +1,52 @@
+// Package classexh is a lint fixture for ledger-class-exhaustiveness:
+// arrays and switches keyed by metrics.Class must track NumClasses.
+package classexh
+
+import "nowover/internal/metrics"
+
+// full tracks every class: indexing it is fine.
+var full [metrics.NumClasses]int64
+
+// stale was sized before new classes were added.
+var stale [4]int64
+
+func chargeFull(c metrics.Class, n int64) {
+	full[c] += n
+}
+
+func chargeStale(c metrics.Class, n int64) {
+	stale[c] += n // want class-exhaustive
+}
+
+// describePartial covers two of the classes with no default.
+func describePartial(c metrics.Class) string {
+	switch c { // want class-exhaustive
+	case metrics.ClassWalk:
+		return "walk"
+	case metrics.ClassExchange:
+		return "exchange"
+	}
+	return "other"
+}
+
+// describeDefault is partial but has a default arm: fine.
+func describeDefault(c metrics.Class) string {
+	switch c {
+	case metrics.ClassWalk:
+		return "walk"
+	default:
+		return "other"
+	}
+}
+
+// describeAll enumerates every class: fine without a default.
+func describeAll(c metrics.Class) string {
+	switch c {
+	case metrics.ClassIntraCluster, metrics.ClassInterCluster,
+		metrics.ClassWalk, metrics.ClassRandNum, metrics.ClassExchange,
+		metrics.ClassDiscovery, metrics.ClassAgreement,
+		metrics.ClassApplication, metrics.ClassCascade:
+		return "known"
+	}
+	return ""
+}

@@ -1,0 +1,19 @@
+// Package filescoped is a lint fixture for file-scoped suppression:
+// one //nowlint:file: directive silences the rule for the whole file.
+package filescoped
+
+//nowlint:file:ordered fixture: this file renders debug output only; ordering is cosmetic
+
+import "fmt"
+
+func dumpAll(m map[int]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func dumpKeys(m map[int]string) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,74 @@
+// Package floatfold is a lint fixture for float-fold-order: compound
+// floating-point folds inside nondeterministically-ordered contexts
+// (map ranges, channel ranges, goroutine bodies) versus the ordered or
+// integer folds the rule must ignore.
+package floatfold
+
+func mapFold(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want float-fold-order
+	}
+	return sum
+}
+
+func mapScale(m map[int]float64) float64 {
+	prod := 1.0
+	for _, v := range m {
+		prod *= v // want float-fold-order
+	}
+	return prod
+}
+
+func chanFold(ch chan float64) float64 {
+	var sum float64
+	for v := range ch {
+		sum += v // want float-fold-order
+	}
+	return sum
+}
+
+func goFold(xs []float64) float64 {
+	var sum float64
+	done := make(chan struct{}, len(xs))
+	for _, x := range xs {
+		go func(x float64) {
+			sum += x // want float-fold-order
+			done <- struct{}{}
+		}(x)
+	}
+	for range xs {
+		<-done
+	}
+	return sum
+}
+
+// sliceFold iterates a slice: order is fixed, no finding.
+func sliceFold(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// intFold accumulates integers: exact arithmetic commutes, no finding.
+func intFold(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// innerFold folds into a variable scoped to one iteration: no finding.
+func innerFold(m map[int]float64) int {
+	count := 0
+	for range m {
+		local := 0.0
+		local += 1
+		_ = local
+		count++
+	}
+	return count
+}

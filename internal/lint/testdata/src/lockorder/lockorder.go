@@ -1,0 +1,73 @@
+// Package core is a lint fixture for shard-lock-order. It is loaded
+// under the fake import path nowover/internal/core so its worldShard
+// type matches the rule's target, without touching the real package.
+package core
+
+import "sync"
+
+type worldShard struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// World owns the shards.
+type World struct {
+	shards []*worldShard
+}
+
+// lockShardPair is the canonical ordered-acquire helper: exempt by name.
+func (w *World) lockShardPair(i, j int) func() {
+	lo, hi := w.shards[i], w.shards[j]
+	if j < i {
+		lo, hi = hi, lo
+	}
+	lo.mu.Lock()
+	hi.mu.Lock()
+	return func() {
+		hi.mu.Unlock()
+		lo.mu.Unlock()
+	}
+}
+
+// adHocPair acquires a second shard lock while holding the first,
+// outside the canonical helper.
+func (w *World) adHocPair(i, j int) {
+	a, b := w.shards[i], w.shards[j]
+	a.mu.Lock()
+	b.mu.Lock() // want shard-lock-order
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// deferredHold keeps the first lock held via defer when the second is
+// taken.
+func (w *World) deferredHold(i, j int) {
+	a, b := w.shards[i], w.shards[j]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want shard-lock-order
+	defer b.mu.Unlock()
+}
+
+// sequential releases the first shard before touching the second: fine.
+func (w *World) sequential(i, j int) int {
+	a, b := w.shards[i], w.shards[j]
+	a.mu.Lock()
+	n := a.n
+	a.mu.Unlock()
+	b.mu.RLock()
+	n += b.n
+	b.mu.RUnlock()
+	return n
+}
+
+// loopLocks holds at most one shard lock at a time: fine.
+func (w *World) loopLocks() int {
+	n := 0
+	for _, s := range w.shards {
+		s.mu.RLock()
+		n += s.n
+		s.mu.RUnlock()
+	}
+	return n
+}

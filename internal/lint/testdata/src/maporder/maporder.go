@@ -1,0 +1,123 @@
+// Package maporder is a lint fixture: every hazard class the map-order
+// rule must catch, next to the order-blind shapes it must leave alone.
+// `// want <rule>` markers are the expected-diagnostic assertions.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+
+	"nowover/internal/metrics"
+	"nowover/internal/xrand"
+)
+
+// appendOuter leaks iteration order into a slice.
+func appendOuter(m map[int]int) []int {
+	var out []int
+	for k := range m { // want map-order
+		out = append(out, k)
+	}
+	return out
+}
+
+// collectThenSort is the sanctioned idiom: the slice is sorted after the
+// loop, so the order never escapes.
+func collectThenSort(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// appendInner builds a slice scoped to one iteration: order-blind.
+func appendInner(m map[int]int) int {
+	n := 0
+	for k := range m {
+		tmp := []int{}
+		tmp = append(tmp, k)
+		n += len(tmp)
+	}
+	return n
+}
+
+// printsOutput writes in iteration order.
+func printsOutput(m map[int]string) {
+	for k, v := range m { // want map-order
+		fmt.Println(k, v)
+	}
+}
+
+// mergesLedger folds accumulators in iteration order.
+func mergesLedger(led *metrics.Ledger, shards map[int]*metrics.Ledger) {
+	for _, l := range shards { // want map-order
+		led.Merge(l)
+	}
+}
+
+// feedsDigest streams observations into an order-sensitive sketch.
+func feedsDigest(d *metrics.Digest, m map[int]float64) {
+	for _, v := range m { // want map-order
+		d.Add(v)
+	}
+}
+
+// feedsRNG consumes the deterministic stream in iteration order,
+// perturbing every later draw.
+func feedsRNG(r *xrand.Rand, m map[int]bool) int {
+	n := 0
+	for range m { // want map-order
+		n += r.Intn(10)
+	}
+	return n
+}
+
+// floatAssign folds a float max-update across iterations.
+func floatAssign(m map[int]float64) float64 {
+	worst := 0.0
+	for _, v := range m { // want map-order
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// earlyReturn picks which error to report by iteration order.
+func earlyReturn(m map[int]int) error {
+	for k, v := range m { // want map-order
+		if v < 0 {
+			return fmt.Errorf("negative value at %d", k)
+		}
+	}
+	return nil
+}
+
+// constReturn answers a pure membership question: any order agrees.
+func constReturn(m map[int]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// intCounter is a commutative integer fold: order-blind.
+func intCounter(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// mapCopy rebuilds a map: writes land keyed, order-blind.
+func mapCopy(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

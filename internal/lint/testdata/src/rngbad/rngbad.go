@@ -1,0 +1,24 @@
+// Package rngbad is a lint fixture: every rng-discipline violation in a
+// sim-reachable (non-allowlisted) package. The same file loaded under a
+// nowover/cmd/ import path must produce zero findings — see lint_test.go.
+package rngbad
+
+import (
+	"math/rand" // want rng-discipline
+	"time"
+)
+
+func draw() int64 {
+	return rand.Int63()
+}
+
+func elapsed() time.Duration {
+	start := time.Now()    // want rng-discipline
+	d := time.Since(start) // want rng-discipline
+	return d
+}
+
+// formatting only: referencing the time package without Now/Since is fine.
+func format(t time.Time) string {
+	return t.UTC().String()
+}

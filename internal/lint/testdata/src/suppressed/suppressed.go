@@ -1,0 +1,46 @@
+// Package suppressed is a lint fixture for the suppression machinery:
+// a justified suppression silences its rule, a reason-less or unknown-key
+// one is itself a finding. Expectations for this package live in
+// lint_test.go (not inline markers) because trailing text on a
+// //nowlint: comment would be parsed as the suppression reason.
+package suppressed
+
+// justified carries a reason: the map-order finding is silenced.
+func justified(m map[int]int) []int {
+	var out []int
+	//nowlint:ordered fixture: the slice is consumed as an unordered set
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// sameLine suppresses from a trailing comment on the flagged line.
+func sameLine(m map[int]int) []int {
+	var out []int
+	for k := range m { //nowlint:ordered fixture: consumed as an unordered set
+		out = append(out, k)
+	}
+	return out
+}
+
+// missingReason omits the justification: the suppression is rejected
+// (so the map-order finding still fires) and reported itself.
+func missingReason(m map[int]int) []int {
+	var out []int
+	//nowlint:ordered
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// unknownKey names a rule that does not exist.
+func unknownKey(m map[int]int) int {
+	//nowlint:bogus this key matches no analyzer
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -14,6 +14,7 @@ package runtime
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"nowover/internal/ids"
@@ -68,7 +69,7 @@ func NewEngine(procs map[ids.NodeID]Process) *Engine {
 		e.order = append(e.order, id)
 	}
 	// Deterministic goroutine wiring order.
-	sortNodeIDs(e.order)
+	slices.Sort(e.order)
 	for _, id := range e.order {
 		w := &worker{
 			in:   make(chan stepReq),
@@ -84,14 +85,6 @@ func NewEngine(procs map[ids.NodeID]Process) *Engine {
 		}(procs[id], w)
 	}
 	return e
-}
-
-func sortNodeIDs(xs []ids.NodeID) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }
 
 // Round executes one synchronous round: delivers each node's pending
@@ -183,6 +176,7 @@ func MajorityPayload(inbox []Message, senders []ids.NodeID) (any, bool) {
 			counts[m.Payload]++
 		}
 	}
+	//nowlint:ordered a strict majority (> half the senders) is unique, so at most one iteration can satisfy the return condition — the result is order-independent
 	for payload, n := range counts {
 		if 2*n > len(senders) {
 			return payload, true
