@@ -23,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,15 +37,17 @@ import (
 // config is the fully-resolved command configuration: flags parsed,
 // experiment selection validated against the registry.
 type config struct {
-	selected []string
-	full     bool
-	csvDir   string
-	seed     uint64
-	parallel int
-	shards   int
-	grouped  bool
-	exact    bool
-	maxN     int
+	selected   []string
+	full       bool
+	csvDir     string
+	seed       uint64
+	parallel   int
+	shards     int
+	grouped    bool
+	exact      bool
+	maxN       int
+	checkpoint string
+	benchJSON  string
 }
 
 // parseConfig parses the command line and resolves the experiment
@@ -60,7 +63,9 @@ func parseConfig(args []string) (*config, error) {
 	fs.IntVar(&c.shards, "world-shards", 1, "lockable state segments per experiment world (tables are byte-identical at any value; the harness drives ops serially, so this exercises the sharded layout rather than speeding tables up)")
 	fs.BoolVar(&c.grouped, "grouped-cascade", false, "batch leave cascades into one grouped shuffle round per leave (~|C| write footprint instead of ~|C|^2; changes measured costs, tables stay deterministic)")
 	fs.BoolVar(&c.exact, "exact-samples", false, "retain full per-operation cost histories (metrics.Sample) instead of fixed-memory sketches; reproduces pre-sketch tables byte for byte but memory grows with the operation count — avoid with -max-n")
-	fs.IntVar(&c.maxN, "max-n", 0, "extend the N sweep by doubling the top size up to this bound (e.g. 65536 for the 2^16 separation sweep); 0 keeps the selected scale's grid")
+	fs.IntVar(&c.maxN, "max-n", 0, "extend the N sweep by doubling the top size up to this bound (e.g. 65536 for the 2^16 separation sweep, 1048576 for the 2^20 run); must be a power-of-two multiple of the scale's top size; 0 keeps the selected scale's grid")
+	fs.StringVar(&c.checkpoint, "checkpoint", "", "per-cell result journal: completed sweep cells are appended here and served from it on the next run, so an interrupted sweep resumes from its last completed cell with byte-identical tables; the journal is bound to the run configuration (seed/scale/mode flags) and refuses to resume under a different one")
+	fs.StringVar(&c.benchJSON, "bench-json", "", "write per-cell wall-clock timings (from the -checkpoint journal) as JSON, so future changes prove speedups against a recorded trajectory; requires -checkpoint")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -72,7 +77,25 @@ func parseConfig(args []string) (*config, error) {
 		return nil, err
 	}
 	c.selected = selected
+	// Validate the grid extension now: an unreachable -max-n is a usage
+	// error and must not surface hours into a sweep.
+	if _, err := c.scale(); err != nil {
+		return nil, err
+	}
+	if c.benchJSON != "" && c.checkpoint == "" {
+		return nil, fmt.Errorf("-bench-json requires -checkpoint (timings come from the cell journal)")
+	}
 	return c, nil
+}
+
+// fingerprint identifies the run configuration a checkpoint journal is
+// bound to: everything cell results depend on. Parallelism is absent by
+// design (cells are byte-identical at any worker count); the CSV
+// directory only affects where tables are copied.
+func (c *config) fingerprint(scale nowover.ExperimentScale) string {
+	return fmt.Sprintf("ns=%v of=%g trials=%d walks=%d seed=%d exact=%v shards=%d grouped=%v",
+		scale.Ns, scale.OpsFactor, scale.Trials, scale.Walks,
+		scale.Seed, scale.ExactSamples, c.shards, c.grouped)
 }
 
 // resolveExperiments expands the -exp flag against the registry; an empty
@@ -94,8 +117,9 @@ func resolveExperiments(expFlag string) ([]string, error) {
 	return selected, nil
 }
 
-// scale derives the experiment scale from the resolved flags.
-func (c *config) scale() nowover.ExperimentScale {
+// scale derives the experiment scale from the resolved flags; it errors
+// when -max-n cannot extend the selected grid exactly.
+func (c *config) scale() (nowover.ExperimentScale, error) {
 	scale := nowover.QuickScale()
 	if c.full {
 		scale = nowover.FullScale()
@@ -103,9 +127,9 @@ func (c *config) scale() nowover.ExperimentScale {
 	scale.Seed = c.seed
 	scale.ExactSamples = c.exact
 	if c.maxN > 0 {
-		scale = scale.ExtendTo(c.maxN)
+		return scale.ExtendTo(c.maxN)
 	}
-	return scale
+	return scale, nil
 }
 
 func main() {
@@ -125,10 +149,21 @@ func run(args []string) error {
 	nowover.SetWorldShards(c.shards)
 	nowover.SetGroupedCascade(c.grouped)
 
-	scale := c.scale()
+	scale, err := c.scale()
+	if err != nil {
+		return err
+	}
 	fmt.Printf("nowbench: %d worker(s), %d world shard(s), grouped-cascade=%v, samples=%s, Ns=%v\n\n",
 		nowover.Parallelism(), nowover.WorldShards(), nowover.GroupedCascade(),
 		map[bool]string{false: "sketch", true: "exact"}[c.exact], scale.Ns)
+
+	if c.checkpoint != "" {
+		if err := nowover.OpenCheckpointJournal(c.checkpoint, c.fingerprint(scale),
+			func() int64 { return time.Now().UnixMilli() }); err != nil {
+			return err
+		}
+		defer nowover.CloseCheckpointJournal()
+	}
 
 	if c.csvDir != "" {
 		if err := os.MkdirAll(c.csvDir, 0o755); err != nil {
@@ -166,5 +201,30 @@ func run(args []string) error {
 		}
 	}
 	fmt.Printf("(%d experiment(s) completed in %v)\n", len(c.selected), time.Since(sweepStart).Round(time.Millisecond))
+
+	if c.benchJSON != "" {
+		if err := writeBenchJSON(c.benchJSON); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// benchFile is the -bench-json document: the per-cell wall-clock
+// trajectory of a checkpointed sweep.
+type benchFile struct {
+	Cells   []nowover.BenchPoint `json:"cells"`
+	TotalMs int64                `json:"total_ms"`
+}
+
+func writeBenchJSON(path string) error {
+	points, totalMs, ok := nowover.BenchTrajectory()
+	if !ok {
+		return fmt.Errorf("bench-json: no checkpoint journal active")
+	}
+	doc, err := json.MarshalIndent(benchFile{Cells: points, TotalMs: totalMs}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(doc, '\n'), 0o644)
 }

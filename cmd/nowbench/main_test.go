@@ -56,7 +56,10 @@ func TestScaleDerivation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := c.scale()
+	s, err := c.scale()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.Seed != 7 || !s.ExactSamples {
 		t.Errorf("scale seed/exact = %d/%v, want 7/true", s.Seed, s.ExactSamples)
 	}
@@ -65,8 +68,41 @@ func TestScaleDerivation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2 := c2.scale()
+	s2, err := c2.scale()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if top := s2.Ns[len(s2.Ns)-1]; top != 65536 {
 		t.Errorf("extended sweep tops out at %d, want 65536", top)
+	}
+}
+
+// TestParseConfigMaxN2e20 covers the million-node grid: 2^20 extends both
+// standard scales exactly, and unreachable bounds are usage errors at
+// parse time, not silent caps hours into a sweep.
+func TestParseConfigMaxN2e20(t *testing.T) {
+	for _, args := range [][]string{
+		{"-max-n", "1048576"},
+		{"-full", "-max-n", "1048576"},
+	} {
+		c, err := parseConfig(args)
+		if err != nil {
+			t.Fatalf("parseConfig(%v): %v", args, err)
+		}
+		s, err := c.scale()
+		if err != nil {
+			t.Fatalf("scale(%v): %v", args, err)
+		}
+		if top := s.Ns[len(s.Ns)-1]; top != 1<<20 {
+			t.Errorf("%v: sweep tops out at %d, want %d", args, top, 1<<20)
+		}
+	}
+	// 10^6 is not on the doubling grid; the old code silently ran 2^19.
+	if _, err := parseConfig([]string{"-max-n", "1000000"}); err == nil ||
+		!strings.Contains(err.Error(), "524288 or 1048576") {
+		t.Errorf("parseConfig(-max-n 1000000) = %v, want nearest-grid-top usage error", err)
+	}
+	if _, err := parseConfig([]string{"-full", "-max-n", "100"}); err == nil {
+		t.Error("parseConfig(-max-n below grid top) must error")
 	}
 }

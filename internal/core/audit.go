@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"nowover/internal/ids"
 	"nowover/internal/over"
 	"nowover/internal/randnum"
 )
@@ -62,11 +63,14 @@ func (w *World) Audit() Audit {
 	first := true
 	for _, s := range w.shards {
 		s.mu.RLock()
-		// Sorted walk: min/max/fraction folds are commutative, but the
-		// audit is part of rendered output and the determinism contract is
-		// cheaper to hold uniformly than to re-prove per fold.
-		for _, c := range sortedKeys(s.clusters) {
-			cs := s.clusters[c]
+		// Ascending slot walk = ascending ClusterID within the shard:
+		// min/max/fraction folds are commutative, but the audit is part of
+		// rendered output and the determinism contract is cheaper to hold
+		// uniformly than to re-prove per fold.
+		for _, cs := range s.clusters {
+			if cs == nil {
+				continue
+			}
 			size := len(cs.members)
 			if first {
 				a.MinSize, a.MaxSize = size, size
@@ -110,13 +114,25 @@ func (w *World) OverlayHealth(spectralIters, randomCuts int) over.Health {
 
 // CheckConsistency exhaustively cross-checks the world's redundant
 // bookkeeping (membership indexes, Byzantine counts, per-shard size
-// multisets and max trackers, shard placement, overlay/partition
+// multisets and max trackers, the incremental security classes and
+// insecure counters, arena slot placement, overlay/partition
 // correspondence). Used by tests and the simulator's paranoid mode;
-// returns the first inconsistency found.
+// returns the first inconsistency found. All walks run in ascending
+// slot (= ascending ID) order, so which inconsistency is reported first
+// is a function of the state, not of any map hash seed.
 func (w *World) CheckConsistency() error {
 	nodeRecords := 0
 	for _, ns := range w.nodeShards {
-		nodeRecords += len(ns.nodes)
+		present := 0
+		for _, info := range ns.nodes {
+			if info.present {
+				present++
+			}
+		}
+		if present != ns.count {
+			return fmt.Errorf("consistency: node shard %d counts %d records, actual %d", ns.index, ns.count, present)
+		}
+		nodeRecords += present
 	}
 	if len(w.allNodes) != nodeRecords {
 		return fmt.Errorf("consistency: %d indexed nodes vs %d records", len(w.allNodes), nodeRecords)
@@ -126,29 +142,30 @@ func (w *World) CheckConsistency() error {
 	maxSize := 0
 	for si, s := range w.shards {
 		shardMax := 0
-		sizes := make(map[int]int)
-		// Sorted walks below: which inconsistency CheckConsistency reports
-		// first is observable output (test logs, the simulator's paranoid
-		// mode), so the walk order must not depend on the map hash seed.
-		for _, c := range sortedKeys(s.clusters) {
-			cs := s.clusters[c]
-			if w.shardFor(c) != s {
-				return fmt.Errorf("consistency: cluster %v stored in wrong shard %d", c, si)
+		liveSlots := 0
+		degraded, captured := 0, 0
+		sizes := make([]int32, len(s.sizeCount))
+		queued := make(map[int32]bool, len(s.dirtySlots))
+		for _, slot := range s.dirtySlots {
+			queued[slot] = true
+		}
+		for slot, cs := range s.clusters {
+			if cs == nil {
+				continue
 			}
+			c := s.idAt(slot)
+			liveSlots++
 			if !w.overlay.Has(c) {
 				return fmt.Errorf("consistency: cluster %v missing from overlay", c)
 			}
 			byz := 0
-			for i, x := range cs.members {
+			for _, x := range cs.members {
 				info, ok := w.nodeInfoOf(x)
 				if !ok {
 					return fmt.Errorf("consistency: member %v of %v unknown", x, c)
 				}
 				if info.cluster != c {
 					return fmt.Errorf("consistency: node %v thinks it is in %v, member list says %v", x, info.cluster, c)
-				}
-				if cs.pos[x] != i {
-					return fmt.Errorf("consistency: position index broken for %v in %v", x, c)
 				}
 				if info.byz {
 					byz++
@@ -157,14 +174,40 @@ func (w *World) CheckConsistency() error {
 			if byz != cs.byz {
 				return fmt.Errorf("consistency: cluster %v byz count %d, actual %d", c, cs.byz, byz)
 			}
+			want := randnum.Secure
+			if len(cs.members) > 0 {
+				want = randnum.Classify(len(cs.members), cs.byz)
+			}
+			if cs.sec != want {
+				return fmt.Errorf("consistency: cluster %v live class %v, actual %v", c, cs.sec, want)
+			}
+			if cs.sec >= randnum.Degraded {
+				degraded++
+			}
+			if cs.sec == randnum.Captured {
+				captured++
+			}
+			if cs.dirty && !queued[int32(slot)] {
+				return fmt.Errorf("consistency: cluster %v dirty but not queued for settle", c)
+			}
 			totalMembers += len(cs.members)
 			totalClusters++
 			if len(cs.members) > shardMax {
 				shardMax = len(cs.members)
 			}
-			if len(cs.members) > 0 {
-				sizes[len(cs.members)]++
+			if n := len(cs.members); n > 0 {
+				if n >= len(sizes) {
+					sizes = append(sizes, make([]int32, n+1-len(sizes))...)
+				}
+				sizes[n]++
 			}
+		}
+		if liveSlots != s.liveSlots {
+			return fmt.Errorf("consistency: shard %d tracks %d live slots, actual %d", si, s.liveSlots, liveSlots)
+		}
+		if degraded != s.degraded || captured != s.captured {
+			return fmt.Errorf("consistency: shard %d insecure counters %d/%d, actual %d/%d",
+				si, s.degraded, s.captured, degraded, captured)
 		}
 		if shardMax != s.maxSize {
 			return fmt.Errorf("consistency: shard %d tracked max size %d, actual %d", si, s.maxSize, shardMax)
@@ -172,13 +215,17 @@ func (w *World) CheckConsistency() error {
 		if shardMax > maxSize {
 			maxSize = shardMax
 		}
-		for _, sz := range sortedKeys(sizes) {
-			if s.sizeCount[sz] != sizes[sz] {
-				return fmt.Errorf("consistency: shard %d size multiset at %d is %d, actual %d", si, sz, s.sizeCount[sz], sizes[sz])
+		for sz := range sizes {
+			var got int32
+			if sz < len(s.sizeCount) {
+				got = s.sizeCount[sz]
+			}
+			if got != sizes[sz] {
+				return fmt.Errorf("consistency: shard %d size multiset at %d is %d, actual %d", si, sz, got, sizes[sz])
 			}
 		}
-		for _, sz := range sortedKeys(s.sizeCount) {
-			if n := s.sizeCount[sz]; sizes[sz] != n {
+		for sz := len(sizes); sz < len(s.sizeCount); sz++ {
+			if n := s.sizeCount[sz]; n != 0 {
 				return fmt.Errorf("consistency: shard %d size multiset extra entry %d=%d", si, sz, n)
 			}
 		}
@@ -202,13 +249,16 @@ func (w *World) CheckConsistency() error {
 		}
 	}
 	for _, ns := range w.nodeShards {
-		for _, x := range sortedKeys(ns.nodes) {
-			info := ns.nodes[x]
-			if _, ok := w.nodePos[x]; !ok {
+		for slot, info := range ns.nodes {
+			if !info.present {
+				continue
+			}
+			x := ids.NodeID(uint64(slot)*uint64(ns.stride) + uint64(ns.index))
+			if p := w.samplePos(x); p < 0 || w.allNodes[p] != x {
 				return fmt.Errorf("consistency: node %v missing from flat index", x)
 			}
 			if info.byz {
-				if _, ok := w.byzPos[x]; !ok {
+				if p := w.byzSamplePos(x); p < 0 || w.byzNodes[p] != x {
 					return fmt.Errorf("consistency: byz node %v missing from index", x)
 				}
 			}

@@ -140,9 +140,12 @@ func planLeaveFootprint(w *World, x ids.NodeID, planSeed uint64) (writes int, us
 	p := &batchPlan{
 		op:     Op{Kind: OpLeave, Victim: x},
 		writes: make(ids.ClusterSet),
-		led:    &metrics.Ledger{},
 	}
-	w.planOp(p, xrand.New(planSeed))
+	ctx, err := newPlanContext(w)
+	if err != nil {
+		panic(err) // NewWorld validated the config; unreachable
+	}
+	w.planOp(ctx, p, xrand.New(planSeed))
 	if p.err != nil || p.deferred {
 		return len(p.writes), false
 	}

@@ -7,13 +7,13 @@ import (
 )
 
 // The clusterState.remove paths surfaced while writing the invariant
-// layer: removing the last member must release the backing array, a
-// swap-moved node must stay removable, a double/absent removal must be an
-// explicit error, and a mismatched byz flag must not underflow the
-// Byzantine counter.
+// layer: removing the last member must keep the backing array for arena
+// recycling, a swap-moved node must stay removable, a double/absent
+// removal must be an explicit error, and a mismatched byz flag must not
+// underflow the Byzantine counter.
 
 func newClusterState(members ...ids.NodeID) *clusterState {
-	cs := &clusterState{pos: make(map[ids.NodeID]int)}
+	cs := &clusterState{}
 	for _, x := range members {
 		cs.add(x, false)
 	}
@@ -27,15 +27,18 @@ func TestClusterStateRemoveLast(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if len(cs.members) != 0 || len(cs.pos) != 0 {
-		t.Fatalf("state not empty after removing all: %v / %v", cs.members, cs.pos)
+	if len(cs.members) != 0 {
+		t.Fatalf("state not empty after removing all: %v", cs.members)
 	}
-	if cs.members != nil {
-		t.Fatal("emptied member list kept its backing array")
+	// The emptied record must RETAIN its backing array: retired records
+	// return to the shard free list and the retained capacity is what
+	// makes the recycled record's next fill allocation-free.
+	if cap(cs.members) == 0 {
+		t.Fatal("emptied member list released its backing array")
 	}
-	// The emptied state must remain usable (merge refill path).
+	// The emptied state must remain usable (merge refill / recycle path).
 	cs.add(9, true)
-	if cs.pos[9] != 0 || cs.byz != 1 || len(cs.members) != 1 {
+	if cs.indexOf(9) != 0 || cs.byz != 1 || len(cs.members) != 1 {
 		t.Fatalf("re-add after empty broken: %+v", cs)
 	}
 }
@@ -47,8 +50,8 @@ func TestClusterStateRemoveMoved(t *testing.T) {
 	if err := cs.remove(10, false); err != nil {
 		t.Fatal(err)
 	}
-	if cs.pos[30] != 0 || cs.members[0] != 30 {
-		t.Fatalf("swap-move bookkeeping broken: %v %v", cs.members, cs.pos)
+	if cs.indexOf(30) != 0 || cs.members[0] != 30 {
+		t.Fatalf("swap-move bookkeeping broken: %v", cs.members)
 	}
 	if err := cs.remove(30, false); err != nil {
 		t.Fatalf("moved node not removable: %v", err)
@@ -79,7 +82,7 @@ func TestClusterStateByzUnderflowGuard(t *testing.T) {
 	if err := cs.remove(1, true); err == nil {
 		t.Fatal("byz-flagged removal from a byz-free cluster succeeded")
 	}
-	if _, ok := cs.pos[1]; !ok {
+	if cs.indexOf(1) < 0 {
 		t.Fatal("rejected removal still dropped the node")
 	}
 	cs.add(3, true)
@@ -102,7 +105,7 @@ func TestClusterStateCloneIndependent(t *testing.T) {
 	if len(cs.members) != 4 || cs.byz != 1 {
 		t.Fatalf("clone mutation leaked into original: %+v", cs)
 	}
-	if _, ok := cs.pos[99]; ok {
-		t.Fatal("clone insertion leaked into original index")
+	if cs.indexOf(99) >= 0 {
+		t.Fatal("clone insertion leaked into original member list")
 	}
 }

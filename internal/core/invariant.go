@@ -13,8 +13,9 @@ import (
 //   - every node is a member of exactly one cluster, and the membership
 //     union equals the node index (no phantom, duplicated or orphaned
 //     nodes);
-//   - every cluster's position index matches its member list and its
-//     Byzantine counter equals a recount (via CheckConsistency);
+//   - every cluster's Byzantine counter, security class and the per-shard
+//     size multisets equal a recount (via CheckConsistency), and the
+//     tracked max cluster size equals the true maximum;
 //   - no cluster is empty, none exceeds the split threshold, and — when
 //     more than one cluster exists, so merging was possible — none sits
 //     below the merge threshold;
@@ -31,18 +32,30 @@ func CheckInvariants(w *World) error {
 	}
 
 	// Membership union == node index, each node in exactly one cluster.
+	// The walk also recomputes the true maximum cluster size so the
+	// tracked max (worldShard.maxSize, maintained by noteSizeChange's
+	// size-multiset scan-down) is checked against ground truth on every
+	// oracle call — the regression oracle for the stale-max recompute.
 	seen := make(ids.NodeSet, w.NumNodes())
 	lo, hi := w.cfg.MergeThreshold(), w.cfg.SplitThreshold()
 	clusters := ids.NewClusterSet()
+	trueMax := 0
 	for _, s := range w.shards {
 		s.mu.RLock()
-		// Sorted walk: which violated invariant gets reported is part of
-		// the oracle's observable output, so the scan order must come from
-		// the cluster IDs, not the map hash seed.
-		for _, c := range sortedKeys(s.clusters) {
-			cs := s.clusters[c]
+		// Ascending slot walk = ascending ClusterID within the shard:
+		// which violated invariant gets reported is part of the oracle's
+		// observable output, so the scan order must come from the cluster
+		// IDs, not any map hash seed.
+		for slot, cs := range s.clusters {
+			if cs == nil {
+				continue
+			}
+			c := s.idAt(slot)
 			clusters.Add(c)
 			size := len(cs.members)
+			if size > trueMax {
+				trueMax = size
+			}
 			if size == 0 {
 				s.mu.RUnlock()
 				return fmt.Errorf("invariant: cluster %v is empty", c)
@@ -66,6 +79,9 @@ func CheckInvariants(w *World) error {
 	}
 	if seen.Len() != w.NumNodes() {
 		return fmt.Errorf("invariant: %d member nodes vs %d indexed nodes", seen.Len(), w.NumNodes())
+	}
+	if got := w.MaxClusterSize(); got != trueMax {
+		return fmt.Errorf("invariant: tracked max cluster size %d, true max %d", got, trueMax)
 	}
 
 	// Overlay vertices == cluster set.

@@ -72,7 +72,7 @@ func (w *World) Bootstrap(n0 int, corrupt func(slot int) bool) error {
 			break
 		}
 		c := w.clAlloc.NextCluster()
-		w.putCluster(c, &clusterState{pos: make(map[ids.NodeID]int, end-start)})
+		w.putCluster(c)
 		clusterIDs = append(clusterIDs, c)
 		for _, slot := range slots[start:end] {
 			w.seedNode(c, byz[slot])
@@ -290,12 +290,19 @@ func (w *World) leaveWith(led *metrics.Ledger, rng *xrand.Rand, x ids.NodeID, se
 // depends on it. Returns the hijacked-walk count to fold into stats.
 func runLeaveCascade(grouped bool, exch *exchange.Exchanger, t walk.Topology, led *metrics.Ledger, rng *xrand.Rand, c ids.ClusterID, receivers []ids.ClusterID) (int64, error) {
 	if grouped {
+		// CascadeRound reads the receiver list (which aliases the
+		// exchanger's Run scratch) but only writes its own separate
+		// cascade scratch, so no copy is needed.
 		rep, err := exch.CascadeRound(led, rng, c, receivers)
 		if err != nil {
 			return 0, fmt.Errorf("core: leave cascade round: %w", err)
 		}
 		return int64(rep.Hijacked), nil
 	}
+	// The per-receiver cascade re-enters exch.Run, which recycles the very
+	// scratch buffer the receiver list aliases — detach it first. One small
+	// allocation per leave, on the legacy (non-grouped) flavor only.
+	receivers = append([]ids.ClusterID(nil), receivers...)
 	var hijacked int64
 	for _, recv := range receivers {
 		if t.Size(recv) == 0 {
@@ -349,16 +356,18 @@ func (w *World) SetCorrupted(x ids.NodeID, corrupted bool) error {
 	}
 	s := w.shardFor(info.cluster)
 	s.mu.Lock()
-	cs := s.clusters[info.cluster]
+	slot, cs := s.clusterAt(info.cluster)
 	if corrupted {
 		cs.byz++
 	} else {
 		cs.byz--
 	}
-	s.reclassify(info.cluster)
+	s.reclassify(cs)
+	s.markDirty(slot, cs)
 	s.mu.Unlock()
 	if corrupted {
-		w.byzPos[x] = len(w.byzNodes)
+		w.byzPos = growPos(w.byzPos, x)
+		w.byzPos[x] = int32(len(w.byzNodes))
 		w.byzNodes = append(w.byzNodes, x)
 	} else {
 		j := w.byzPos[x]
@@ -367,7 +376,7 @@ func (w *World) SetCorrupted(x ids.NodeID, corrupted bool) error {
 		w.byzNodes[j] = moved
 		w.byzPos[moved] = j
 		w.byzNodes = w.byzNodes[:last]
-		delete(w.byzPos, x)
+		w.byzPos[x] = -1
 	}
 	info.byz = corrupted
 	w.setNodeInfo(x, info)
@@ -393,7 +402,7 @@ func (w *World) split(led *metrics.Ledger, rng *xrand.Rand, c ids.ClusterID) err
 	keep := (len(members) + 1) / 2
 
 	c2 := w.clAlloc.NextCluster()
-	w.putCluster(c2, &clusterState{pos: make(map[ids.NodeID]int, len(members)-keep)})
+	w.putCluster(c2)
 	for _, x := range members[keep:] {
 		if err := w.moveNode(x, c, c2); err != nil {
 			return err
@@ -531,9 +540,9 @@ func (w *World) randomOtherCluster(led *metrics.Ledger, rng *xrand.Rand, c ids.C
 	if out.End != c {
 		return out.End, nil
 	}
-	vs := w.overlay.Vertices()
+	n := w.overlay.NumVertices()
 	for {
-		cand := vs[rng.Intn(len(vs))]
+		cand := w.overlay.VertexAt(rng.Intn(n))
 		if cand != c {
 			return cand, nil
 		}
@@ -555,12 +564,9 @@ func (w *World) moveNode(x ids.NodeID, from, to ids.ClusterID) error {
 func (w *World) removeClusterVertex(led *metrics.Ledger, rng *xrand.Rand, c ids.ClusterID) {
 	s := w.shardFor(c)
 	s.mu.Lock()
-	if cs, ok := s.clusters[c]; ok {
-		s.noteSizeChange(len(cs.members), 0)
-		delete(s.clusters, c)
+	if s.retireLocked(c) {
 		w.nClusters--
 	}
-	delete(s.degraded, c)
 	s.mu.Unlock()
 	if w.overlay.Has(c) {
 		budget := w.cfg.TargetDegree() * w.cfg.EdgeAttemptFactor

@@ -34,27 +34,34 @@ func sortedKeysInto[K cmp.Ordered, V any](buf []K, m map[K]V) []K {
 
 // lockShardPair is the canonical ordered-acquire helper for operations
 // whose footprint spans two cluster shards: it locks the shards owning a
-// and b in ascending shard-index order (one lock when they collide) and
-// returns the matching release. Taking two shard locks any other way can
-// deadlock against a concurrent acquirer of the same pair in the opposite
-// order, so nowlint's shard-lock-order rule flags every ad-hoc second
-// Lock in this package and points here.
-func (w *World) lockShardPair(a, b ids.ClusterID) (release func()) {
+// and b in ascending shard-index order (one lock when they collide, with
+// hi == nil) and returns them for unlockShardPair. Taking two shard locks
+// any other way can deadlock against a concurrent acquirer of the same
+// pair in the opposite order, so nowlint's shard-lock-order rule flags
+// every ad-hoc second Lock in this package and points here. It returns the
+// locked shards rather than a release closure so the per-transfer hot path
+// stays allocation-free.
+func (w *World) lockShardPair(a, b ids.ClusterID) (lo, hi *worldShard) {
 	ia := uint64(a) % uint64(len(w.shards))
 	ib := uint64(b) % uint64(len(w.shards))
 	if ia == ib {
 		s := w.shards[ia]
 		s.mu.Lock()
-		return s.mu.Unlock
+		return s, nil
 	}
 	if ia > ib {
 		ia, ib = ib, ia
 	}
-	lo, hi := w.shards[ia], w.shards[ib]
+	lo, hi = w.shards[ia], w.shards[ib]
 	lo.mu.Lock()
 	hi.mu.Lock()
-	return func() {
+	return lo, hi
+}
+
+// unlockShardPair releases what lockShardPair acquired, in reverse order.
+func unlockShardPair(lo, hi *worldShard) {
+	if hi != nil {
 		hi.mu.Unlock()
-		lo.mu.Unlock()
 	}
+	lo.mu.Unlock()
 }

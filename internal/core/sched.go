@@ -139,7 +139,9 @@ type planMove struct {
 }
 
 // batchPlan is one op's planned execution: footprint, mutations, costs and
-// stat deltas, all computed against the pre-batch snapshot.
+// stat deltas, all computed against the pre-batch snapshot. Plans are
+// pooled in the world's scheduler scratch and reset per batch, so their
+// footprint set, move list and private ledger are reused allocations.
 type batchPlan struct {
 	op      Op
 	idx     int
@@ -149,11 +151,30 @@ type batchPlan struct {
 	writes ids.ClusterSet
 	moves  []planMove
 	stats  Stats
-	led    *metrics.Ledger
+	led    metrics.Ledger
 
 	err      error
 	deferred bool
 	reason   string
+}
+
+// reset prepares a pooled plan for a new op, retaining grown capacity.
+func (p *batchPlan) reset(op Op, idx int) {
+	p.op = op
+	p.idx = idx
+	p.newNode = 0
+	p.hasNode = false
+	if p.writes == nil {
+		p.writes = make(ids.ClusterSet)
+	} else {
+		clear(p.writes)
+	}
+	p.moves = p.moves[:0]
+	p.stats = Stats{}
+	p.led.Reset()
+	p.err = nil
+	p.deferred = false
+	p.reason = ""
 }
 
 func (p *batchPlan) deferTo(reason string) {
@@ -165,28 +186,100 @@ func (p *batchPlan) deferTo(reason string) {
 // reads fall through to the live (quiescent) world, writes land in
 // op-local cluster copies and are recorded in the plan's write footprint.
 // It implements exchange.World, so the real walk and exchange machinery
-// runs unmodified over it.
+// runs unmodified over it. A view lives inside one planContext and is
+// reset per op: its overlay maps are cleared (not reallocated) and its
+// cluster copies recycle through a private free list.
 type planView struct {
 	w       *World
 	p       *batchPlan
 	local   map[ids.ClusterID]*clusterState
 	byzOv   map[ids.NodeID]bool // allegiance of nodes this plan inserted
+	free    []*clusterState     // retired op-local copies, capacity retained
 	baseMax int
 	viewMax int
 }
 
 var _ exchange.World = (*planView)(nil)
 
-func newPlanView(w *World, p *batchPlan) *planView {
-	base := w.MaxClusterSize()
-	return &planView{
-		w:       w,
-		p:       p,
-		local:   make(map[ids.ClusterID]*clusterState),
-		byzOv:   make(map[ids.NodeID]bool),
-		baseMax: base,
-		viewMax: base,
+// reset points the view at a new plan and recycles the previous op's
+// cluster copies. Free-list order is scheduling-dependent but invisible:
+// a recycled record's contents are fully overwritten by the next snapshot.
+func (v *planView) reset(p *batchPlan) {
+	//nowlint:ordered free-list entries are interchangeable scratch records, fully overwritten by snapshotClusterInto before any read, so recycle order never reaches an output
+	for _, cs := range v.local {
+		cs.members = cs.members[:0]
+		cs.byz = 0
+		v.free = append(v.free, cs)
 	}
+	clear(v.local)
+	clear(v.byzOv)
+	v.p = p
+	base := v.w.MaxClusterSize()
+	v.baseMax = base
+	v.viewMax = base
+}
+
+// planContext is one plan worker's reusable machinery: the view plus a
+// walker and exchanger bound to it once, instead of per op. The walker
+// config's hijack proxy and steer closure read the world's live hooks, so
+// a cached context never goes stale when SetHijacker/SetSteer is called.
+type planContext struct {
+	view   planView
+	walker *walk.Walker
+	exch   *exchange.Exchanger
+}
+
+func newPlanContext(w *World) (*planContext, error) {
+	ctx := &planContext{view: planView{
+		w:     w,
+		local: make(map[ids.ClusterID]*clusterState),
+		byzOv: make(map[ids.NodeID]bool),
+	}}
+	walker, err := walk.NewWalker(w.walkCfg, &ctx.view)
+	if err != nil {
+		return nil, err
+	}
+	exch, err := exchange.New(&ctx.view, walker, w.cfg.Generator)
+	if err != nil {
+		return nil, err
+	}
+	ctx.walker, ctx.exch = walker, exch
+	return ctx, nil
+}
+
+// schedScratch is the world's reusable ExecBatch state: plan records,
+// per-op substreams, admission bookkeeping and per-worker plan contexts.
+// Everything here is sized once and recycled, so steady-state batches
+// allocate nothing beyond amortized growth of the world itself.
+type schedScratch struct {
+	plans    []batchPlan
+	rngs     []xrand.Rand
+	batchRng xrand.Rand
+	tailRng  xrand.Rand
+	accW     ids.ClusterSet
+	admitted []*batchPlan
+	tail     []*batchPlan
+	errs     []error
+	ctxs     []*planContext
+
+	// planFn/applyFn are the worker bodies handed to runIndexed, built once:
+	// a fresh closure per batch would escape to the heap and break the
+	// zero-allocation steady state. They capture only the world, reading the
+	// per-batch state through its sched scratch.
+	planFn  func(worker, i int)
+	applyFn func(worker, i int)
+}
+
+// ensure sizes the per-op scratch for a batch of n ops.
+func (s *schedScratch) ensure(n int) {
+	if cap(s.plans) < n {
+		s.plans = append(s.plans[:cap(s.plans)], make([]batchPlan, n-cap(s.plans))...)
+	}
+	s.plans = s.plans[:n]
+	if cap(s.rngs) < n {
+		s.rngs = append(s.rngs[:cap(s.rngs)], make([]xrand.Rand, n-cap(s.rngs))...)
+	}
+	s.rngs = s.rngs[:n]
 }
 
 // cs returns the cluster record visible to this plan: the op-local copy
@@ -197,18 +290,26 @@ func (v *planView) cs(c ids.ClusterID) (*clusterState, bool) {
 	}
 	s := v.w.shardFor(c)
 	s.mu.RLock()
-	cs, ok := s.clusters[c]
+	cs := s.cluster(c)
 	s.mu.RUnlock()
-	return cs, ok
+	return cs, cs != nil
 }
 
-// cow returns an op-local mutable copy of c, recording the write.
+// cow returns an op-local mutable copy of c, recording the write. The
+// copy comes from the view's free list when one is available, so a warm
+// planner snapshots without allocating.
 func (v *planView) cow(c ids.ClusterID) (*clusterState, error) {
 	if cs, ok := v.local[c]; ok {
 		return cs, nil
 	}
-	cs, ok := v.w.snapshotCluster(c)
-	if !ok {
+	var cs *clusterState
+	if n := len(v.free); n > 0 {
+		cs, v.free = v.free[n-1], v.free[:n-1]
+	} else {
+		cs = &clusterState{}
+	}
+	if !v.w.snapshotClusterInto(c, cs) {
+		v.free = append(v.free, cs)
 		return nil, fmt.Errorf("core: plan touched unknown cluster %v", c)
 	}
 	v.p.writes.Add(c)
@@ -333,35 +434,18 @@ func (v *planView) remove(x ids.NodeID, byz bool, c ids.ClusterID) error {
 
 // --- planning ---
 
-// newPlanMachinery builds a walker and exchanger bound to the view, with
-// the world's hijack and steer hooks.
-func (w *World) newPlanMachinery(v *planView) (*walk.Walker, *exchange.Exchanger, error) {
-	walker, err := walk.NewWalker(w.walkCfg, v)
-	if err != nil {
-		return nil, nil, err
-	}
-	exch, err := exchange.New(v, walker, w.cfg.Generator)
-	if err != nil {
-		return nil, nil, err
-	}
-	return walker, exch, nil
-}
-
-// planOp computes one op's plan against the quiescent world.
-func (w *World) planOp(p *batchPlan, rng *xrand.Rand) {
-	v := newPlanView(w, p)
-	walker, exch, err := w.newPlanMachinery(v)
-	if err != nil {
-		p.err = err
-		return
-	}
+// planOp computes one op's plan against the quiescent world, on the given
+// worker's pooled machinery.
+func (w *World) planOp(ctx *planContext, p *batchPlan, rng *xrand.Rand) {
+	ctx.view.reset(p)
+	v := &ctx.view
 	switch p.op.Kind {
 	case OpJoin:
-		w.planJoin(p, v, walker, exch, rng)
+		w.planJoin(p, v, ctx.walker, ctx.exch, rng)
 	case OpLeave:
-		w.planLeave(p, v, exch, rng)
+		w.planLeave(p, v, ctx.exch, rng)
 	case OpExchange:
-		w.planExchange(p, exch, rng)
+		w.planExchange(p, ctx.exch, rng)
 	default:
 		p.err = fmt.Errorf("core: unknown op kind %d", int(p.op.Kind))
 	}
@@ -380,7 +464,7 @@ func (w *World) planJoin(p *batchPlan, v *planView, walker *walk.Walker, exch *e
 		p.err = fmt.Errorf("core: join contact %v is not a cluster: %w", contact, ErrUnknownCluster)
 		return
 	}
-	out, err := walker.Biased(p.led, rng, contact)
+	out, err := walker.Biased(&p.led, rng, contact)
 	if err != nil {
 		p.err = fmt.Errorf("core: join walk: %w", err)
 		return
@@ -393,9 +477,9 @@ func (w *World) planJoin(p *batchPlan, v *planView, walker *walk.Walker, exch *e
 		p.err = err
 		return
 	}
-	chargeInsertion(v, p.led, target)
+	chargeInsertion(v, &p.led, target)
 	if w.cfg.ExchangeOnJoin {
-		rep, err := exch.Run(p.led, rng, target)
+		rep, err := exch.Run(&p.led, rng, target)
 		if err != nil {
 			p.err = fmt.Errorf("core: join exchange: %w", err)
 			return
@@ -416,7 +500,7 @@ func (w *World) planLeave(p *batchPlan, v *planView, exch *exchange.Exchanger, r
 		return
 	}
 	c := info.cluster
-	chargeDeparture(v, p.led, c)
+	chargeDeparture(v, &p.led, c)
 
 	if err := v.remove(p.op.Victim, info.byz, c); err != nil {
 		p.err = err
@@ -427,7 +511,7 @@ func (w *World) planLeave(p *batchPlan, v *planView, exch *exchange.Exchanger, r
 		return
 	}
 	if w.cfg.ExchangeOnLeave {
-		rep, err := exch.Run(p.led, rng, c)
+		rep, err := exch.Run(&p.led, rng, c)
 		if err != nil {
 			p.err = fmt.Errorf("core: leave exchange: %w", err)
 			return
@@ -445,7 +529,7 @@ func (w *World) planLeave(p *batchPlan, v *planView, exch *exchange.Exchanger, r
 			// ~|C|^2 the per-receiver cascade accumulates. That footprint
 			// drop is what lets full-density leave batches pass admission
 			// (see BenchmarkShardedWorldBatch's cascade regime).
-			hijacked, err := runLeaveCascade(w.cfg.GroupedCascade, exch, v, p.led, rng, c, rep.Receivers)
+			hijacked, err := runLeaveCascade(w.cfg.GroupedCascade, exch, v, &p.led, rng, c, rep.Receivers)
 			if err != nil {
 				p.err = err
 				return
@@ -465,7 +549,7 @@ func (w *World) planExchange(p *batchPlan, exch *exchange.Exchanger, rng *xrand.
 		p.err = fmt.Errorf("core: exchange on cluster %v: %w", p.op.Target, ErrUnknownCluster)
 		return
 	}
-	rep, err := exch.Run(p.led, rng, p.op.Target)
+	rep, err := exch.Run(&p.led, rng, p.op.Target)
 	if err != nil {
 		p.err = err
 		return
@@ -557,13 +641,14 @@ func (w *World) planWorkers(n int) int {
 	return w.schedWorkers(n)
 }
 
-// runIndexed fans fn(0..n-1) across the given number of workers via an
-// atomic claim counter, or runs inline when workers <= 1. fn must be safe
-// for concurrent invocation on distinct indexes.
-func runIndexed(workers, n int, fn func(int)) {
+// runIndexed fans fn(worker, 0..n-1) across the given number of workers
+// via an atomic claim counter, or runs inline (worker 0) when workers <= 1.
+// fn must be safe for concurrent invocation on distinct indexes; the worker
+// id lets callers hand each goroutine its own pooled machinery.
+func runIndexed(workers, n int, fn func(worker, i int)) {
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -572,16 +657,16 @@ func runIndexed(workers, n int, fn func(int)) {
 	var wg sync.WaitGroup
 	for g := 0; g < workers; g++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 }
@@ -597,66 +682,108 @@ func runIndexed(workers, n int, fn func(int)) {
 // ExecBatch must not run concurrently with any other World method; it
 // manages its own internal concurrency.
 func (w *World) ExecBatch(ops []Op) []OpResult {
-	res := make([]OpResult, len(ops))
+	return w.ExecBatchInto(nil, ops)
+}
+
+// ExecBatchInto is ExecBatch writing its results into a caller-owned
+// slice (grown only when too small), so steady-state batch loops reuse
+// one result buffer and the whole plan/apply path runs without per-batch
+// garbage. The returned slice is res (or its replacement), resized to
+// len(ops).
+func (w *World) ExecBatchInto(res []OpResult, ops []Op) []OpResult {
+	if cap(res) < len(ops) {
+		res = make([]OpResult, len(ops))
+	}
+	res = res[:len(ops)]
 	if len(ops) == 0 {
 		return res
 	}
 	if !w.bootstrapped {
 		err := fmt.Errorf("core: batch before bootstrap")
 		for i := range res {
-			res[i].Err = err
+			res[i] = OpResult{Err: err}
 		}
 		return res
 	}
 
-	// Per-op substreams and (for joins) node IDs, derived in op order.
-	batchRng := w.rng.Split(0xBA7C4)
-	plans := make([]*batchPlan, len(ops))
-	rngs := make([]*xrand.Rand, len(ops))
+	// Per-op substreams and (for joins) node IDs, derived in op order from
+	// pooled plan records and in-place-reseeded substreams.
+	s := &w.sched
+	s.ensure(len(ops))
+	w.rng.SplitInto(&s.batchRng, 0xBA7C4)
 	for i := range ops {
-		p := &batchPlan{
-			op:     ops[i],
-			idx:    i,
-			writes: make(ids.ClusterSet),
-			led:    &metrics.Ledger{},
-		}
+		p := &s.plans[i]
+		p.reset(ops[i], i)
 		if ops[i].Kind == OpJoin {
 			p.newNode = w.nodeAlloc.NextNode()
 			p.hasNode = true
 		}
-		plans[i] = p
-		rngs[i] = batchRng.Split(uint64(i))
+		s.batchRng.SplitInto(&s.rngs[i], uint64(i))
 	}
 
 	// Phase 1: plan, possibly on workers. Plans are independent: each
 	// reads the quiescent world, draws its own substream, charges its own
-	// ledger. Worlds with adversary hooks installed plan serially (see
+	// ledger; each worker plans on its own pooled machinery (view, walker,
+	// exchanger). Worlds with adversary hooks installed plan serially (see
 	// planWorkers).
-	runIndexed(w.planWorkers(len(ops)), len(plans), func(i int) {
-		w.planOp(plans[i], rngs[i])
-	})
+	workers := w.planWorkers(len(ops))
+	for len(s.ctxs) < workers {
+		ctx, err := newPlanContext(w)
+		if err != nil {
+			// Unreachable with a NewWorld-validated config; fail the batch
+			// loudly rather than planning with missing machinery.
+			for i := range res {
+				res[i] = OpResult{Node: s.plans[i].newNode, Err: err}
+			}
+			return res
+		}
+		s.ctxs = append(s.ctxs, ctx)
+	}
+	if s.planFn == nil {
+		s.planFn = func(worker, i int) {
+			w.planOp(w.sched.ctxs[worker], &w.sched.plans[i], &w.sched.rngs[i])
+		}
+	}
+	runIndexed(workers, len(ops), s.planFn)
 
 	// Phase 2: admit in op order, then apply admitted plans concurrently.
-	accW := make(ids.ClusterSet)
-	var admitted, tail []*batchPlan
-	for _, p := range plans {
+	if s.accW == nil {
+		s.accW = make(ids.ClusterSet)
+	} else {
+		clear(s.accW)
+	}
+	s.admitted = s.admitted[:0]
+	s.tail = s.tail[:0]
+	for i := range s.plans {
+		p := &s.plans[i]
 		switch {
 		case p.err != nil:
 			res[p.idx] = OpResult{Node: p.newNode, Err: p.err}
-		case p.deferred || conflicts(p, accW):
+		case p.deferred || conflicts(p, s.accW):
 			if !p.deferred {
 				p.deferTo("footprint conflict")
 			}
-			tail = append(tail, p)
+			s.tail = append(s.tail, p)
 		default:
-			admitted = append(admitted, p)
-			unionInto(accW, p.writes)
+			s.admitted = append(s.admitted, p)
+			unionInto(s.accW, p.writes)
 		}
 	}
-	applyErrs := make([]error, len(admitted))
-	runIndexed(w.schedWorkers(len(admitted)), len(admitted), func(i int) {
-		applyErrs[i] = w.applyPlan(admitted[i])
-	})
+	if cap(s.errs) < len(s.admitted) {
+		s.errs = make([]error, len(s.admitted))
+	}
+	s.errs = s.errs[:len(s.admitted)]
+	for i := range s.errs {
+		s.errs[i] = nil
+	}
+	if s.applyFn == nil {
+		s.applyFn = func(_, i int) {
+			w.sched.errs[i] = w.applyPlan(w.sched.admitted[i])
+		}
+	}
+	admitted := s.admitted
+	applyErrs := s.errs
+	runIndexed(w.schedWorkers(len(admitted)), len(admitted), s.applyFn)
 
 	// Op-ordered post-pass: sampling indexes, ledgers, stats, results.
 	for i, p := range admitted {
@@ -675,7 +802,7 @@ func (w *World) ExecBatch(ops []Op) []OpResult {
 				w.sampleRemove(m.x, m.byz)
 			}
 		}
-		w.led.Merge(p.led)
+		w.led.Merge(&p.led)
 		w.stats.accumulate(p.stats)
 		res[p.idx] = OpResult{Node: p.newNode}
 	}
@@ -683,8 +810,9 @@ func (w *World) ExecBatch(ops []Op) []OpResult {
 	// Phase 3: serial tail, in op order, against live state, on fresh
 	// substreams (the planning draws were consumed identically in every
 	// mode, so a derived stream keeps the tail deterministic too).
-	for _, p := range tail {
-		tailRng := rngs[p.idx].Split(0x7A11)
+	for _, p := range s.tail {
+		s.rngs[p.idx].SplitInto(&s.tailRng, 0x7A11)
+		tailRng := &s.tailRng
 		var err error
 		switch p.op.Kind {
 		case OpJoin:

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -33,25 +34,48 @@ var ErrUnknownCluster = errors.New("core: unknown cluster")
 // cluster that is not (or no longer) in the overlay.
 func IsUnknownCluster(err error) bool { return errors.Is(err, ErrUnknownCluster) }
 
-// nodeInfo is the world's per-node record.
+// nodeInfo is the world's per-node record. Records live in a dense
+// slot-indexed arena (see nodeShard); present distinguishes a live record
+// from a never-used or vacated slot.
 type nodeInfo struct {
 	cluster ids.ClusterID
 	byz     bool
+	present bool
 }
 
-// clusterState is the world's per-cluster record: member list with a
-// position index for O(1) removal, plus an incremental Byzantine count.
+// clusterState is the world's per-cluster record: member list, incremental
+// Byzantine count, and the security bookkeeping folded by settleSecurity
+// at operation boundaries. Records are arena-managed by their shard —
+// retired records keep their member capacity and return to a free list for
+// recycling by putCluster — so steady-state churn allocates nothing.
+//
+// Member removal is a linear scan: cluster sizes are bounded by the split
+// threshold (K·L·log2 N, ~80 at n=2^20), so the scan is cheaper than the
+// position map it replaced and keeps the record to two words of header
+// state per cluster.
 type clusterState struct {
 	members []ids.NodeID
-	pos     map[ids.NodeID]int
 	byz     int
+	// sec is the current (live) security class, maintained incrementally
+	// by worldShard.reclassify on every membership/allegiance change.
+	sec randnum.Security
+	// settled is the class as of the last settleSecurity pass; the
+	// sec-vs-settled delta drives the Degraded/CapturedEvents counters.
+	settled randnum.Security
+	// dirty marks the record as queued in its shard's dirtySlots list.
+	dirty bool
+}
+
+func (cs *clusterState) indexOf(x ids.NodeID) int {
+	for i, m := range cs.members {
+		if m == x {
+			return i
+		}
+	}
+	return -1
 }
 
 func (cs *clusterState) add(x ids.NodeID, byz bool) {
-	if cs.pos == nil {
-		cs.pos = make(map[ids.NodeID]int)
-	}
-	cs.pos[x] = len(cs.members)
 	cs.members = append(cs.members, x)
 	if byz {
 		cs.byz++
@@ -59,46 +83,37 @@ func (cs *clusterState) add(x ids.NodeID, byz bool) {
 }
 
 func (cs *clusterState) remove(x ids.NodeID, byz bool) error {
-	i, ok := cs.pos[x]
-	if !ok {
+	i := cs.indexOf(x)
+	if i < 0 {
 		// Double removal (e.g. of a node that was swap-moved out by an
-		// earlier removal) lands here: the position index is the guard.
+		// earlier removal) lands here: the membership scan is the guard.
 		return fmt.Errorf("core: node %v not in cluster", x)
 	}
 	if byz && cs.byz == 0 {
 		return fmt.Errorf("core: removing %v would underflow the Byzantine count", x)
 	}
 	last := len(cs.members) - 1
-	moved := cs.members[last]
-	cs.members[i] = moved
-	cs.pos[moved] = i
+	cs.members[i] = cs.members[last]
 	cs.members = cs.members[:last]
-	delete(cs.pos, x)
 	if byz {
 		cs.byz--
 	}
-	if len(cs.members) == 0 {
-		// Removing the last member: release the backing array instead of
-		// keeping an empty slice pinning the full former capacity. The
-		// cluster is about to be retired or refilled; either way a stale
-		// array is a leak.
-		cs.members = nil
-	}
+	// An emptied record deliberately keeps its backing array: the cluster
+	// is about to be retired into the shard's free list (or refilled), and
+	// the retained capacity is what makes the recycled record's next fill
+	// allocation-free.
 	return nil
 }
 
-// clone deep-copies the cluster record (used by the op scheduler's
-// copy-on-write planning views).
+// clone deep-copies the membership-relevant fields of the record (used by
+// the op scheduler's copy-on-write planning views; the plan-local copy
+// carries no security bookkeeping because plans never read it).
 func (cs *clusterState) clone() *clusterState {
 	out := &clusterState{
 		members: make([]ids.NodeID, len(cs.members)),
-		pos:     make(map[ids.NodeID]int, len(cs.members)),
 		byz:     cs.byz,
 	}
 	copy(out.members, cs.members)
-	for x, i := range cs.pos {
-		out.pos[x] = i
-	}
 	return out
 }
 
@@ -167,27 +182,75 @@ func (p *hijackProxy) installed() bool {
 }
 
 // worldShard is one independently lockable segment of the cluster-keyed
-// state: the cluster records themselves plus every index derived from them
-// (live/settled security classes, the size multiset and its max tracker).
-// Clusters are assigned to shards by ClusterID modulo the shard count, so
-// operations whose cluster footprints are disjoint touch disjoint shard
-// entries and can run concurrently under the shard locks.
+// state: a dense slot-indexed arena of cluster records plus every index
+// derived from them (the size multiset with its max tracker, the insecure
+// counters, the settle queue).
+//
+// Cluster c lives in shard c % stride at slot c / stride. Cluster IDs are
+// minted densely and never reused, so each shard's slots fill 0,1,2,...
+// with no gaps and one slot belongs to exactly one cluster ID for the
+// lifetime of the world; ascending slot order IS ascending ClusterID
+// order, which is what keeps every walk over the arena deterministic
+// without sorting. Operations whose cluster footprints are disjoint touch
+// disjoint shard entries and can run concurrently under the shard locks.
 type worldShard struct {
-	mu        sync.RWMutex
-	clusters  map[ids.ClusterID]*clusterState
-	degraded  map[ids.ClusterID]randnum.Security
-	settled   map[ids.ClusterID]randnum.Security
-	sizeCount map[int]int
+	mu            sync.RWMutex
+	stride, index int
+
+	// clusters is the cluster arena; nil = retired or not yet minted.
+	clusters []*clusterState
+	// free holds retired records (capacity retained) for putCluster.
+	free []*clusterState
+	// liveSlots counts non-nil arena entries.
+	liveSlots int
+
+	// sizeCount is the cluster-size multiset — sizeCount[s] = number of
+	// clusters of size s — with maxSize as its tracked maximum. The dense
+	// int-indexed layout makes the stale-max recompute an exact scan-down
+	// (no deleted-entry ordering hazards: the count for every size is
+	// always addressable).
+	sizeCount []int32
 	maxSize   int
+
+	// degraded/captured count clusters whose live class is >= Degraded
+	// resp. == Captured, so CurrentInsecure is O(shards).
+	degraded, captured int
+
+	// dirtySlots queues slots whose record changed since the last settle
+	// pass, deduplicated by clusterState.dirty.
+	dirtySlots []int32
 }
 
-func newWorldShard() *worldShard {
-	return &worldShard{
-		clusters:  make(map[ids.ClusterID]*clusterState),
-		degraded:  make(map[ids.ClusterID]randnum.Security),
-		settled:   make(map[ids.ClusterID]randnum.Security),
-		sizeCount: make(map[int]int),
+func newWorldShard(stride, index int) *worldShard {
+	return &worldShard{stride: stride, index: index}
+}
+
+func (s *worldShard) slotOf(c ids.ClusterID) int {
+	return int(uint64(c) / uint64(s.stride))
+}
+
+func (s *worldShard) idAt(slot int) ids.ClusterID {
+	return ids.ClusterID(uint64(slot)*uint64(s.stride) + uint64(s.index))
+}
+
+// cluster returns the record for c, or nil when c is not a live cluster of
+// this shard. Caller holds s.mu.
+func (s *worldShard) cluster(c ids.ClusterID) *clusterState {
+	slot := s.slotOf(c)
+	if slot >= len(s.clusters) {
+		return nil
 	}
+	return s.clusters[slot]
+}
+
+// clusterAt is cluster plus the slot, for callers that also mark dirty.
+// Caller holds s.mu.
+func (s *worldShard) clusterAt(c ids.ClusterID) (int, *clusterState) {
+	slot := s.slotOf(c)
+	if slot >= len(s.clusters) {
+		return slot, nil
+	}
+	return slot, s.clusters[slot]
 }
 
 // noteSizeChange updates the shard's size multiset and max-size tracker for
@@ -198,51 +261,102 @@ func (s *worldShard) noteSizeChange(a, b int) {
 	}
 	if a > 0 {
 		s.sizeCount[a]--
-		if s.sizeCount[a] == 0 {
-			delete(s.sizeCount, a)
-		}
 	}
 	if b > 0 {
+		if b >= len(s.sizeCount) {
+			s.sizeCount = append(s.sizeCount, make([]int32, b+1-len(s.sizeCount))...)
+		}
 		s.sizeCount[b]++
 	}
 	if b > s.maxSize {
 		s.maxSize = b
 	} else if a == s.maxSize && s.sizeCount[a] == 0 {
 		// The (possibly unique) largest cluster of this shard shrank: scan
-		// down. Distinct sizes are O(log N), so this is trivial.
-		m := 0
-		for sz := range s.sizeCount {
-			if sz > m {
-				m = sz
-			}
+		// down to the next occupied size. The multiset is dense, so the
+		// scan is exact by construction — there is no "entry already
+		// deleted" state for the recompute to mis-read.
+		m := a
+		for m > 0 && s.sizeCount[m] == 0 {
+			m--
 		}
 		s.maxSize = m
 	}
 }
 
-// reclassify recomputes a cluster's live security level. Event counters
-// are NOT advanced here — transients inside one operation are not time
-// step states; settleSecurity handles accounting at operation boundaries.
-// Caller holds s.mu.
-func (s *worldShard) reclassify(c ids.ClusterID) {
-	cs, ok := s.clusters[c]
-	if !ok || len(cs.members) == 0 {
-		delete(s.degraded, c)
+// markDirty queues cs's slot for the next settleSecurity pass. Caller
+// holds s.mu.
+func (s *worldShard) markDirty(slot int, cs *clusterState) {
+	if cs.dirty {
 		return
 	}
-	now := randnum.Classify(len(cs.members), cs.byz)
-	if now == randnum.Secure {
-		delete(s.degraded, c)
-	} else {
-		s.degraded[c] = now
-	}
+	cs.dirty = true
+	s.dirtySlots = append(s.dirtySlots, int32(slot))
 }
 
-// nodeShard is one lockable segment of the node index, keyed by NodeID
-// modulo the shard count.
+// reclassify recomputes a record's live security class after a membership
+// or allegiance change, maintaining the shard's insecure counters. Event
+// counters are NOT advanced here — transients inside one operation are not
+// time step states; settleSecurity handles accounting at operation
+// boundaries. Caller holds s.mu.
+func (s *worldShard) reclassify(cs *clusterState) {
+	now := randnum.Secure
+	if len(cs.members) > 0 {
+		now = randnum.Classify(len(cs.members), cs.byz)
+	}
+	if now == cs.sec {
+		return
+	}
+	if cs.sec >= randnum.Degraded {
+		s.degraded--
+	}
+	if cs.sec == randnum.Captured {
+		s.captured--
+	}
+	if now >= randnum.Degraded {
+		s.degraded++
+	}
+	if now == randnum.Captured {
+		s.captured++
+	}
+	cs.sec = now
+}
+
+// retireLocked removes c's record from the arena and returns it — reset,
+// capacity retained — to the free list, reporting whether c was live.
+// Caller holds s.mu.
+func (s *worldShard) retireLocked(c ids.ClusterID) bool {
+	slot, cs := s.clusterAt(c)
+	if cs == nil {
+		return false
+	}
+	s.noteSizeChange(len(cs.members), 0)
+	cs.members = cs.members[:0]
+	cs.byz = 0
+	s.reclassify(cs) // live class -> Secure, counters updated
+	cs.settled = randnum.Secure
+	// Any dirtySlots entry for this slot now points at a nil record and is
+	// skipped by the settle pass; the flag must clear here so the recycled
+	// record re-queues cleanly at its next home.
+	cs.dirty = false
+	s.clusters[slot] = nil
+	s.liveSlots--
+	s.free = append(s.free, cs)
+	return true
+}
+
+// nodeShard is one lockable segment of the node index: a dense slot-indexed
+// arena of node records, slot = NodeID / stride for the shard at
+// NodeID % stride (node IDs are minted densely and never reused, mirroring
+// the cluster arena's slot scheme).
 type nodeShard struct {
-	mu    sync.RWMutex
-	nodes map[ids.NodeID]nodeInfo
+	mu            sync.RWMutex
+	stride, index int
+	nodes         []nodeInfo
+	count         int
+}
+
+func (ns *nodeShard) slotOf(x ids.NodeID) int {
+	return int(uint64(x) / uint64(ns.stride))
 }
 
 // defaultShards is the package-level default shard count applied when
@@ -303,14 +417,17 @@ type World struct {
 	nodeAlloc ids.NodeAllocator
 	clAlloc   ids.ClusterAllocator
 
-	// Flat node indexes for O(1) uniform sampling by workloads. They are
-	// serial-only state: the op scheduler mutates them in its op-ordered
-	// post-pass, never from apply workers, so they need no lock and their
-	// ordering (which seeds RandomNode draws) stays deterministic.
+	// Flat node indexes for O(1) uniform sampling by workloads. nodePos
+	// and byzPos are NodeID-indexed position arrays (-1 = absent), dense
+	// for the same reason the arenas are: IDs are minted densely and never
+	// reused. They are serial-only state: the op scheduler mutates them in
+	// its op-ordered post-pass, never from apply workers, so they need no
+	// lock and their ordering (which seeds RandomNode draws) stays
+	// deterministic.
 	allNodes []ids.NodeID
-	nodePos  map[ids.NodeID]int
+	nodePos  []int32
 	byzNodes []ids.NodeID
-	byzPos   map[ids.NodeID]int
+	byzPos   []int32
 
 	walker *walk.Walker
 	exch   *exchange.Exchanger
@@ -322,10 +439,11 @@ type World struct {
 	stats         Stats
 	bootstrapped  bool
 
-	// clusterScratch is settleSecurity's reusable sorted-key buffer
-	// (serial contexts only), keeping the per-operation sorted cluster
-	// walk allocation-free.
-	clusterScratch []ids.ClusterID
+	// sched holds the pooled scratch of the batch scheduler (plan records,
+	// RNG substreams, per-worker plan machinery). It is serial-only state:
+	// ExecBatch alone touches it, and ExecBatch must not run concurrently
+	// with itself.
+	sched schedScratch
 }
 
 // Interface compliance: the world is the topology the primitives run over.
@@ -359,14 +477,12 @@ func NewWorld(cfg Config) (*World, error) {
 		shards:     make([]*worldShard, shardCount),
 		nodeShards: make([]*nodeShard, shardCount),
 		overlay:    ov,
-		nodePos:    make(map[ids.NodeID]int),
-		byzPos:     make(map[ids.NodeID]int),
 		rejoinByz:  make(map[ids.NodeID]bool),
 		hijack:     &hijackProxy{},
 	}
 	for i := range w.shards {
-		w.shards[i] = newWorldShard()
-		w.nodeShards[i] = &nodeShard{nodes: make(map[ids.NodeID]nodeInfo)}
+		w.shards[i] = newWorldShard(shardCount, i)
+		w.nodeShards[i] = &nodeShard{stride: shardCount, index: i}
 	}
 	w.walkCfg = walk.Config{
 		DurationFactor: cfg.WalkDurationFactor,
@@ -429,18 +545,31 @@ func (w *World) nodeShardFor(x ids.NodeID) *nodeShard {
 func (w *World) hasCluster(c ids.ClusterID) bool {
 	s := w.shardFor(c)
 	s.mu.RLock()
-	_, ok := s.clusters[c]
+	ok := s.cluster(c) != nil
 	s.mu.RUnlock()
 	return ok
 }
 
-// putCluster installs a fresh cluster record. Serial contexts only
-// (bootstrap, split, merge): cluster creation is structural and the op
-// scheduler never admits structural plans for concurrent apply.
-func (w *World) putCluster(c ids.ClusterID, cs *clusterState) {
+// putCluster installs a fresh cluster record for c, recycling a retired
+// record (with its member capacity) when the shard's free list has one.
+// Serial contexts only (bootstrap, split, merge): cluster creation is
+// structural and the op scheduler never admits structural plans for
+// concurrent apply.
+func (w *World) putCluster(c ids.ClusterID) {
 	s := w.shardFor(c)
 	s.mu.Lock()
-	s.clusters[c] = cs
+	slot := s.slotOf(c)
+	for len(s.clusters) <= slot {
+		s.clusters = append(s.clusters, nil)
+	}
+	var cs *clusterState
+	if n := len(s.free); n > 0 {
+		cs, s.free = s.free[n-1], s.free[:n-1]
+	} else {
+		cs = &clusterState{}
+	}
+	s.clusters[slot] = cs
+	s.liveSlots++
 	s.mu.Unlock()
 	w.nClusters++
 }
@@ -450,32 +579,63 @@ func (w *World) snapshotCluster(c ids.ClusterID) (*clusterState, bool) {
 	s := w.shardFor(c)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	cs, ok := s.clusters[c]
-	if !ok {
+	cs := s.cluster(c)
+	if cs == nil {
 		return nil, false
 	}
 	return cs.clone(), true
 }
 
+// snapshotClusterInto copies c's record into dst, reusing dst's member
+// capacity. It is snapshotCluster for the pooled planning path: a recycled
+// dst makes the copy-on-write snapshot allocation-free in steady state.
+func (w *World) snapshotClusterInto(c ids.ClusterID, dst *clusterState) bool {
+	s := w.shardFor(c)
+	s.mu.RLock()
+	cs := s.cluster(c)
+	if cs == nil {
+		s.mu.RUnlock()
+		return false
+	}
+	dst.members = append(dst.members[:0], cs.members...)
+	dst.byz = cs.byz
+	s.mu.RUnlock()
+	return true
+}
+
 func (w *World) nodeInfoOf(x ids.NodeID) (nodeInfo, bool) {
 	ns := w.nodeShardFor(x)
 	ns.mu.RLock()
-	info, ok := ns.nodes[x]
+	var info nodeInfo
+	if slot := ns.slotOf(x); slot < len(ns.nodes) {
+		info = ns.nodes[slot]
+	}
 	ns.mu.RUnlock()
-	return info, ok
+	return info, info.present
 }
 
 func (w *World) setNodeInfo(x ids.NodeID, info nodeInfo) {
+	info.present = true
 	ns := w.nodeShardFor(x)
 	ns.mu.Lock()
-	ns.nodes[x] = info
+	slot := ns.slotOf(x)
+	for len(ns.nodes) <= slot {
+		ns.nodes = append(ns.nodes, nodeInfo{})
+	}
+	if !ns.nodes[slot].present {
+		ns.count++
+	}
+	ns.nodes[slot] = info
 	ns.mu.Unlock()
 }
 
 func (w *World) deleteNodeInfo(x ids.NodeID) {
 	ns := w.nodeShardFor(x)
 	ns.mu.Lock()
-	delete(ns.nodes, x)
+	if slot := ns.slotOf(x); slot < len(ns.nodes) && ns.nodes[slot].present {
+		ns.nodes[slot] = nodeInfo{}
+		ns.count--
+	}
 	ns.mu.Unlock()
 }
 
@@ -493,13 +653,14 @@ func (w *World) insertMember(c ids.ClusterID, x ids.NodeID, byz bool) error {
 
 // insertLocked is insertMember's body; the caller holds s.mu.
 func (s *worldShard) insertLocked(c ids.ClusterID, x ids.NodeID, byz bool) error {
-	cs, ok := s.clusters[c]
-	if !ok {
+	slot, cs := s.clusterAt(c)
+	if cs == nil {
 		return fmt.Errorf("core: insert into unknown cluster %v", c)
 	}
 	s.noteSizeChange(len(cs.members), len(cs.members)+1)
 	cs.add(x, byz)
-	s.reclassify(c)
+	s.reclassify(cs)
+	s.markDirty(slot, cs)
 	return nil
 }
 
@@ -514,8 +675,8 @@ func (w *World) removeMember(c ids.ClusterID, x ids.NodeID, byz bool) error {
 
 // removeLocked is removeMember's body; the caller holds s.mu.
 func (s *worldShard) removeLocked(c ids.ClusterID, x ids.NodeID, byz bool) error {
-	cs, ok := s.clusters[c]
-	if !ok {
+	slot, cs := s.clusterAt(c)
+	if cs == nil {
 		return fmt.Errorf("core: remove from unknown cluster %v", c)
 	}
 	n := len(cs.members)
@@ -523,7 +684,8 @@ func (s *worldShard) removeLocked(c ids.ClusterID, x ids.NodeID, byz bool) error
 		return err
 	}
 	s.noteSizeChange(n, n-1)
-	s.reclassify(c)
+	s.reclassify(cs)
+	s.markDirty(slot, cs)
 	return nil
 }
 
@@ -545,22 +707,24 @@ func (w *World) NeighborAt(c ids.ClusterID, i int) ids.ClusterID { return w.over
 func (w *World) Size(c ids.ClusterID) int {
 	s := w.shardFor(c)
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if cs, ok := s.clusters[c]; ok {
-		return len(cs.members)
+	n := 0
+	if cs := s.cluster(c); cs != nil {
+		n = len(cs.members)
 	}
-	return 0
+	s.mu.RUnlock()
+	return n
 }
 
 // Byz implements walk.Topology.
 func (w *World) Byz(c ids.ClusterID) int {
 	s := w.shardFor(c)
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if cs, ok := s.clusters[c]; ok {
-		return cs.byz
+	n := 0
+	if cs := s.cluster(c); cs != nil {
+		n = cs.byz
 	}
-	return 0
+	s.mu.RUnlock()
+	return n
 }
 
 // MaxClusterSize implements walk.Topology: the maximum over the per-shard
@@ -583,8 +747,9 @@ func (w *World) MaxClusterSize() int {
 func (w *World) MemberAt(c ids.ClusterID, i int) ids.NodeID {
 	s := w.shardFor(c)
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.clusters[c].members[i]
+	x := s.cluster(c).members[i]
+	s.mu.RUnlock()
+	return x
 }
 
 // Members implements exchange.World (snapshot copy).
@@ -592,8 +757,8 @@ func (w *World) Members(c ids.ClusterID) []ids.NodeID {
 	s := w.shardFor(c)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	cs, ok := s.clusters[c]
-	if !ok {
+	cs := s.cluster(c)
+	if cs == nil {
 		return nil
 	}
 	out := make([]ids.NodeID, len(cs.members))
@@ -632,8 +797,8 @@ func (w *World) Transfer(x ids.NodeID, from, to ids.ClusterID) error {
 // the canonical ordered-acquire helper, so no reader can observe x
 // removed from one cluster but not yet inserted into the other.
 func (w *World) applyTransfer(x ids.NodeID, from, to ids.ClusterID, byz bool) error {
-	release := w.lockShardPair(from, to)
-	defer release()
+	lo, hi := w.lockShardPair(from, to)
+	defer unlockShardPair(lo, hi)
 	if err := w.shardFor(from).removeLocked(from, x, byz); err != nil {
 		return err
 	}
@@ -651,26 +816,38 @@ func (w *World) applyTransfer(x ids.NodeID, from, to ids.ClusterID, byz bool) er
 // the end of every scheduler batch. It counts transitions into the
 // degraded (>= 1/3) and captured (>= 1/2) states and tracks the worst
 // per-cluster Byzantine fraction.
+//
+// Only records that changed since the last pass are visited: an unchanged
+// cluster's class equals its settled class (no transition to count) and
+// its Byzantine fraction was already folded into the monotone
+// MaxByzFractionEver when it last changed, so the dirty-only walk is
+// fold-for-fold identical to the full scan it replaces.
 func (w *World) settleSecurity() {
 	for _, s := range w.shards {
 		s.mu.Lock()
-		// Sorted cluster walk: the folds below are commutative today, but
-		// the settled-transition accounting is exactly the kind of logic
-		// that grows order-sensitive branches; fixing the order keeps the
-		// whole pass trivially deterministic (and nowlint-clean).
-		w.clusterScratch = sortedKeysInto(w.clusterScratch, s.clusters)
-		for _, c := range w.clusterScratch {
-			cs := s.clusters[c]
+		// Ascending slot order = ascending ClusterID within the shard: the
+		// folds below are commutative today, but the settled-transition
+		// accounting is exactly the kind of logic that grows
+		// order-sensitive branches; fixing the order keeps the whole pass
+		// trivially deterministic (and nowlint-clean), exactly like the
+		// sorted map walk it replaces.
+		slices.Sort(s.dirtySlots)
+		for _, slot := range s.dirtySlots {
+			cs := s.clusters[slot]
+			if cs == nil {
+				continue // retired after it was queued
+			}
+			cs.dirty = false
 			size := len(cs.members)
 			if size == 0 {
-				delete(s.settled, c)
+				cs.settled = randnum.Secure
 				continue
 			}
 			if frac := float64(cs.byz) / float64(size); frac > w.stats.MaxByzFractionEver {
 				w.stats.MaxByzFractionEver = frac
 			}
-			now := randnum.Classify(size, cs.byz)
-			prev := s.settled[c]
+			now := cs.sec
+			prev := cs.settled
 			if now > prev {
 				if now >= randnum.Degraded && prev < randnum.Degraded {
 					w.stats.DegradedEvents++
@@ -679,30 +856,49 @@ func (w *World) settleSecurity() {
 					w.stats.CapturedEvents++
 				}
 			}
-			if now == randnum.Secure {
-				delete(s.settled, c)
-			} else {
-				s.settled[c] = now
-			}
+			cs.settled = now
 		}
-		// Drop settled entries for clusters that no longer exist.
-		for c := range s.settled {
-			if _, ok := s.clusters[c]; !ok {
-				delete(s.settled, c)
-			}
-		}
+		s.dirtySlots = s.dirtySlots[:0]
 		s.mu.Unlock()
 	}
+}
+
+// samplePos returns x's position in the flat sampling index, -1 if absent.
+func (w *World) samplePos(x ids.NodeID) int32 {
+	if int(x) >= len(w.nodePos) {
+		return -1
+	}
+	return w.nodePos[x]
+}
+
+// byzSamplePos returns x's position in the Byzantine sampling index, -1 if
+// absent.
+func (w *World) byzSamplePos(x ids.NodeID) int32 {
+	if int(x) >= len(w.byzPos) {
+		return -1
+	}
+	return w.byzPos[x]
+}
+
+// growPos extends a NodeID-indexed position array to cover x, filling new
+// entries with the absent marker.
+func growPos(pos []int32, x ids.NodeID) []int32 {
+	for int(x) >= len(pos) {
+		pos = append(pos, -1)
+	}
+	return pos
 }
 
 // sampleAdd appends a node to the flat sampling indexes. Serial contexts
 // only (classic ops and the scheduler's op-ordered post-pass): the append
 // order seeds RandomNode draws and must stay deterministic.
 func (w *World) sampleAdd(x ids.NodeID, byz bool) {
-	w.nodePos[x] = len(w.allNodes)
+	w.nodePos = growPos(w.nodePos, x)
+	w.nodePos[x] = int32(len(w.allNodes))
 	w.allNodes = append(w.allNodes, x)
 	if byz {
-		w.byzPos[x] = len(w.byzNodes)
+		w.byzPos = growPos(w.byzPos, x)
+		w.byzPos[x] = int32(len(w.byzNodes))
 		w.byzNodes = append(w.byzNodes, x)
 	}
 }
@@ -716,7 +912,7 @@ func (w *World) sampleRemove(x ids.NodeID, byz bool) {
 	w.allNodes[i] = moved
 	w.nodePos[moved] = i
 	w.allNodes = w.allNodes[:last]
-	delete(w.nodePos, x)
+	w.nodePos[x] = -1
 	if byz {
 		j := w.byzPos[x]
 		lastB := len(w.byzNodes) - 1
@@ -724,7 +920,7 @@ func (w *World) sampleRemove(x ids.NodeID, byz bool) {
 		w.byzNodes[j] = movedB
 		w.byzPos[movedB] = j
 		w.byzNodes = w.byzNodes[:lastB]
-		delete(w.byzPos, x)
+		w.byzPos[x] = -1
 	}
 }
 
@@ -804,28 +1000,21 @@ func (w *World) RandomByzantineNode(r *xrand.Rand) (ids.NodeID, bool) {
 
 // RandomCluster returns a uniform cluster ID (used for join contacts).
 func (w *World) RandomCluster(r *xrand.Rand) (ids.ClusterID, bool) {
-	vs := w.overlay.Vertices()
-	if len(vs) == 0 {
+	n := w.overlay.NumVertices()
+	if n == 0 {
 		return 0, false
 	}
-	return vs[r.Intn(len(vs))], true
+	return w.overlay.VertexAt(r.Intn(n)), true
 }
 
 // CurrentInsecure returns the number of clusters presently at or above
 // the 1/3 (degraded) and 1/2 (captured) Byzantine thresholds, maintained
-// incrementally so the check is O(insecure clusters).
+// incrementally per shard so the check is O(shards).
 func (w *World) CurrentInsecure() (degraded, captured int) {
 	for _, s := range w.shards {
 		s.mu.RLock()
-		for _, sec := range s.degraded {
-			switch sec {
-			case randnum.Degraded:
-				degraded++
-			case randnum.Captured:
-				degraded++
-				captured++
-			}
-		}
+		degraded += s.degraded
+		captured += s.captured
 		s.mu.RUnlock()
 	}
 	return degraded, captured

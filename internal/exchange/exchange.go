@@ -48,17 +48,33 @@ type Report struct {
 	Hops      int // total walk hops across all swaps
 	Hijacked  int // walks redirected by the adversary
 	// Receivers lists the distinct partner clusters that received a node
-	// from C; the leave operation cascades an exchange onto each.
+	// from C; the leave operation cascades an exchange onto each. The
+	// slice aliases a scratch buffer owned by the Exchanger: it is valid
+	// until the next Run (resp. CascadeRound) call on the same Exchanger;
+	// callers that retain it across calls must copy it first.
 	Receivers []ids.ClusterID
 	// WorstSecurity is the weakest randnum security observed.
 	WorstSecurity randnum.Security
 }
 
-// Exchanger runs exchange operations.
+// Exchanger runs exchange operations. It is not safe for concurrent use:
+// the scratch buffers below make steady-state exchanges allocation-free,
+// so each concurrent planner needs its own Exchanger (the op scheduler
+// provides one per worker).
 type Exchanger struct {
 	world  World
 	walker *walk.Walker
 	gen    randnum.Generator
+
+	// Reused scratch: the member snapshot of Run's target, Run's receiver
+	// accumulator, CascadeRound's receiver accumulator (distinct from
+	// Run's, because a cascade round consumes the primary Run's receiver
+	// list while building its own) and the cascade's per-receiver partner
+	// pool.
+	members     []ids.NodeID
+	runRecv     []ids.ClusterID
+	cascadeRecv []ids.ClusterID
+	pool        []ids.ClusterID
 }
 
 // New returns an Exchanger bound to the world.
@@ -69,14 +85,30 @@ func New(world World, walker *walk.Walker, gen randnum.Generator) (*Exchanger, e
 	return &Exchanger{world: world, walker: walker, gen: gen}, nil
 }
 
+// containsCluster reports membership by linear scan; receiver lists are
+// O(cluster size) = O(polylog n), where the scan beats a map and
+// allocates nothing.
+func containsCluster(xs []ids.ClusterID, c ids.ClusterID) bool {
+	for _, x := range xs {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
 // Run shuffles every node of c per the protocol and returns the report.
+// The report's Receivers slice is valid until the next Run call.
 func (e *Exchanger) Run(led *metrics.Ledger, r *xrand.Rand, c ids.ClusterID) (Report, error) {
-	rep := Report{}
-	seen := make(map[ids.ClusterID]bool)
+	rep := Report{Receivers: e.runRecv[:0]}
 	// Snapshot: the protocol exchanges the nodes that are members when the
 	// operation starts; replacement nodes arriving mid-operation are not
 	// re-exchanged.
-	members := e.world.Members(c)
+	e.members = e.members[:0]
+	for i, n := 0, e.world.Size(c); i < n; i++ {
+		e.members = append(e.members, e.world.MemberAt(c, i))
+	}
+	members := e.members
 	for _, x := range members {
 		out, err := e.walker.Biased(led, r, c)
 		if err != nil {
@@ -115,11 +147,11 @@ func (e *Exchanger) Run(led *metrics.Ledger, r *xrand.Rand, c ids.ClusterID) (Re
 		}
 		e.chargeSwap(led, c, partner)
 		rep.Swaps++
-		if !seen[partner] {
-			seen[partner] = true
+		if !containsCluster(rep.Receivers, partner) {
 			rep.Receivers = append(rep.Receivers, partner)
 		}
 	}
+	e.runRecv = rep.Receivers[:0]
 	return rep, nil
 }
 
@@ -149,17 +181,17 @@ func (e *Exchanger) Run(led *metrics.Ledger, r *xrand.Rand, c ids.ClusterID) (Re
 // separable from primary-exchange cost.
 //
 // The returned Report's Receivers lists the partner clusters of the round
-// (callers must NOT cascade onto them again — the round IS the cascade).
+// (callers must NOT cascade onto them again — the round IS the cascade);
+// the slice is valid until the next CascadeRound call.
 func (e *Exchanger) CascadeRound(led *metrics.Ledger, r *xrand.Rand, source ids.ClusterID, receivers []ids.ClusterID) (Report, error) {
-	rep := Report{}
-	seen := make(map[ids.ClusterID]bool)
+	rep := Report{Receivers: e.cascadeRecv[:0]}
 	for i, rc := range receivers {
 		if e.world.Size(rc) == 0 {
 			continue // receiver dissolved between exchange and cascade
 		}
 		// The swap pool: the source plus every OTHER live receiver, in
 		// round order (deterministic at any shard count).
-		pool := make([]ids.ClusterID, 0, len(receivers))
+		pool := e.pool[:0]
 		if e.world.Size(source) > 0 && source != rc {
 			pool = append(pool, source)
 		}
@@ -168,6 +200,7 @@ func (e *Exchanger) CascadeRound(led *metrics.Ledger, r *xrand.Rand, source ids.
 				pool = append(pool, other)
 			}
 		}
+		e.pool = pool[:0]
 		if len(pool) == 0 {
 			rep.SelfSwaps++ // lone receiver of its own source: nothing to mix with
 			continue
@@ -218,14 +251,14 @@ func (e *Exchanger) CascadeRound(led *metrics.Ledger, r *xrand.Rand, source ids.
 		}
 		e.chargeSwapClass(led, rc, partner, metrics.ClassCascade, false)
 		rep.Swaps++
-		if !seen[partner] {
-			seen[partner] = true
+		if !containsCluster(rep.Receivers, partner) {
 			rep.Receivers = append(rep.Receivers, partner)
 		}
 	}
 	if rep.Swaps > 0 {
 		led.AddRounds(2) // one grouped round: swaps are simultaneous
 	}
+	e.cascadeRecv = rep.Receivers[:0]
 	return rep, nil
 }
 

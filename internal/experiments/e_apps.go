@@ -25,8 +25,6 @@ func E10Applications(s Scale) (*Table, error) {
 		Columns: []string{"n", "bcastMsgs", "floodingMsgs", "ratio",
 			"sampleMsgs(mean)", "aggMsgs", "aggExact"},
 	}
-	xs := make([]float64, len(s.Ns))
-	bcastY := make([]float64, len(s.Ns))
 	if err := t.RunCells(len(s.Ns), func(i int, frag *Table) error {
 		n := s.Ns[i]
 		w, err := midWorld(n, 0.10, s.Seed, nil)
@@ -65,14 +63,14 @@ func E10Applications(s Scale) (*Table, error) {
 		frag.AddRow(w.NumNodes(), bc.Messages, bc.FloodingMessages,
 			float64(bc.FloodingMessages)/float64(bc.Messages),
 			sampleMsgs.Mean(), agg.Messages, ok)
-		xs[i] = float64(w.NumNodes())
-		bcastY[i] = float64(bc.Messages)
+		frag.AddAux(float64(w.NumNodes()), float64(bc.Messages))
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	xs, ys := t.auxColumns(len(s.Ns), 2)
 	if len(xs) >= 2 {
-		fit := metrics.FitPowerLaw(xs, bcastY)
+		fit := metrics.FitPowerLaw(xs, ys[0])
 		t.Notes = append(t.Notes,
 			"broadcast power-law exponent "+formatFloat(fit.Slope)+
 				" (O~(n) predicts ~1 + polylog drift; flooding is exactly 2)")

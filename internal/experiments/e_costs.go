@@ -38,10 +38,6 @@ func E4RandClCost(s Scale) (*Table, error) {
 		Columns: []string{"N", "walks", "meanMsgs", "meanRounds", "meanHops",
 			"msgs/log^5N", "rounds/log^4N"},
 	}
-	xs := make([]float64, len(s.Ns))
-	msgsY := make([]float64, len(s.Ns))
-	roundsY := make([]float64, len(s.Ns))
-	hopsY := make([]float64, len(s.Ns))
 	if err := t.RunCells(len(s.Ns), func(i int, frag *Table) error {
 		n := s.Ns[i]
 		w, err := midWorld(n, 0.15, s.Seed, nil)
@@ -66,22 +62,40 @@ func E4RandClCost(s Scale) (*Table, error) {
 		l := math.Log2(float64(n))
 		frag.AddRow(n, s.Walks, msgs.Mean(), rounds.Mean(), hops.Mean(),
 			msgs.Mean()/math.Pow(l, 5), rounds.Mean()/math.Pow(l, 4))
-		xs[i] = float64(n)
-		msgsY[i] = msgs.Mean()
-		roundsY[i] = rounds.Mean()
-		hopsY[i] = hops.Mean()
+		frag.AddAux(float64(n), msgs.Mean(), rounds.Mean(), hops.Mean())
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	xs, ys := t.auxColumns(len(s.Ns), 4)
 	if len(xs) >= 2 {
 		t.Notes = append(t.Notes,
-			noteFit("messages", xs, msgsY, 5),
-			noteFit("rounds", xs, roundsY, 4),
-			noteFit("hops", xs, hopsY, 3),
+			noteFit("messages", xs, ys[0], 5),
+			noteFit("rounds", xs, ys[1], 4),
+			noteFit("hops", xs, ys[2], 3),
 		)
 	}
 	return t, nil
+}
+
+// auxColumns unpacks per-cell Aux vectors of the shape (x, y1..yk) laid
+// down by frag.AddAux into an x column plus k y columns for cross-cell
+// fits. Cells lacking the expected width (impossible unless an old
+// journal is replayed against newer code) are dropped from the fit rather
+// than read out of bounds.
+func (t *Table) auxColumns(count, width int) (xs []float64, ys [][]float64) {
+	ys = make([][]float64, width-1)
+	for i := 0; i < count; i++ {
+		aux := t.CellAux(i)
+		if len(aux) != width {
+			continue
+		}
+		xs = append(xs, aux[0])
+		for k := 1; k < width; k++ {
+			ys[k-1] = append(ys[k-1], aux[k])
+		}
+	}
+	return xs, ys
 }
 
 func noteFit(what string, xs, ys []float64, paperExp float64) string {
@@ -106,9 +120,6 @@ func E5ExchangeCost(s Scale) (*Table, error) {
 			"msgs/log^6N", "rounds/log^4N"},
 	}
 	trials := 10 * s.Trials
-	xs := make([]float64, len(s.Ns))
-	msgsY := make([]float64, len(s.Ns))
-	roundsY := make([]float64, len(s.Ns))
 	if err := t.RunCells(len(s.Ns), func(i int, frag *Table) error {
 		n := s.Ns[i]
 		w, err := midWorld(n, 0.15, s.Seed, nil)
@@ -131,17 +142,16 @@ func E5ExchangeCost(s Scale) (*Table, error) {
 		l := math.Log2(float64(n))
 		frag.AddRow(n, trials, msgs.Mean(), rounds.Mean(),
 			msgs.Mean()/math.Pow(l, 6), rounds.Mean()/math.Pow(l, 4))
-		xs[i] = float64(n)
-		msgsY[i] = msgs.Mean()
-		roundsY[i] = rounds.Mean()
+		frag.AddAux(float64(n), msgs.Mean(), rounds.Mean())
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	xs, ys := t.auxColumns(len(s.Ns), 3)
 	if len(xs) >= 2 {
 		t.Notes = append(t.Notes,
-			noteFit("messages", xs, msgsY, 6),
-			noteFit("rounds", xs, roundsY, 4))
+			noteFit("messages", xs, ys[0], 6),
+			noteFit("rounds", xs, ys[1], 4))
 	}
 	return t, nil
 }
@@ -157,9 +167,6 @@ func E6OperationCost(s Scale) (*Table, error) {
 		Columns: []string{"N", "ops", "join:mean", "join:p95", "leave:mean",
 			"leave:p95", "joinRounds", "leaveRounds"},
 	}
-	xs := make([]float64, len(s.Ns))
-	joinY := make([]float64, len(s.Ns))
-	leaveY := make([]float64, len(s.Ns))
 	if err := t.RunCells(len(s.Ns), func(i int, frag *Table) error {
 		n := s.Ns[i]
 		cfg := sim.Config{
@@ -184,16 +191,15 @@ func E6OperationCost(s Scale) (*Table, error) {
 			res.OpCosts.JoinMsgs.Mean(), res.OpCosts.JoinMsgs.Quantile(0.95),
 			res.OpCosts.LeaveMsgs.Mean(), res.OpCosts.LeaveMsgs.Quantile(0.95),
 			res.OpCosts.JoinRounds.Mean(), res.OpCosts.LeaveRounds.Mean())
-		xs[i] = float64(n)
-		joinY[i] = res.OpCosts.JoinMsgs.Mean()
-		leaveY[i] = res.OpCosts.LeaveMsgs.Mean()
+		frag.AddAux(float64(n), res.OpCosts.JoinMsgs.Mean(), res.OpCosts.LeaveMsgs.Mean())
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	xs, ys := t.auxColumns(len(s.Ns), 3)
 	if len(xs) >= 2 {
-		joinFit := metrics.FitPolylog(xs, joinY)
-		leaveFit := metrics.FitPolylog(xs, leaveY)
+		joinFit := metrics.FitPolylog(xs, ys[0])
+		leaveFit := metrics.FitPolylog(xs, ys[1])
 		t.Notes = append(t.Notes,
 			"join polylog exponent "+formatFloat(joinFit.Slope)+" (R2 "+formatFloat(joinFit.R2)+"); join ~ exchange cost + insertion, so ~log^6-7 N is expected",
 			"leave polylog exponent "+formatFloat(leaveFit.Slope)+" (R2 "+formatFloat(leaveFit.R2)+"); leave cascades ~|C| extra exchanges (~log^7-8 N) — still polylog, the paper's claim",

@@ -84,8 +84,6 @@ func E9InitCost(s Scale) (*Table, error) {
 		Columns: []string{"n", "edges", "discoveryMsgs", "n*e bound", "rounds",
 			"complete", "clusterizationMsgs"},
 	}
-	xs := make([]float64, len(s.Ns))
-	discY := make([]float64, len(s.Ns))
 	if err := t.RunCells(len(s.Ns), func(i int, frag *Table) error {
 		n := s.Ns[i]
 		// Initial graph per the model: honest connected (a random
@@ -116,14 +114,14 @@ func E9InitCost(s Scale) (*Table, error) {
 		clusterization := int64(fn * math.Sqrt(fn) * math.Log2(fn))
 		frag.AddRow(n, rep.Edges, rep.Messages, int64(rep.Nodes)*int64(rep.Edges),
 			rep.Rounds, rep.Complete, clusterization)
-		xs[i] = fn
-		discY[i] = float64(rep.Messages)
+		frag.AddAux(fn, float64(rep.Messages))
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	xs, ys := t.auxColumns(len(s.Ns), 2)
 	if len(xs) >= 2 {
-		fit := metrics.FitPowerLaw(xs, discY)
+		fit := metrics.FitPowerLaw(xs, ys[0])
 		t.Notes = append(t.Notes,
 			"discovery power-law exponent "+formatFloat(fit.Slope)+
 				" (paper bound n*e with e=Theta(n) gives exponent <= 2; active-node flooding typically lands near the e*diameter regime)")

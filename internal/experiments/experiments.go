@@ -28,6 +28,29 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+
+	// Aux carries a cell's numeric by-products (sweep x values, fitted y
+	// values) out of RunCells alongside its rows. Cross-cell aggregates
+	// (polylog fits, ratio notes) must read per-cell numbers from here via
+	// CellAux, never from closure-captured slices: a cell served from a
+	// resume journal does not re-run its body, so anything outside the
+	// fragment would silently stay zero. Only fragments carry Aux; on the
+	// parent table RunCells collects them per cell.
+	Aux []float64
+
+	cellAux [][]float64 // parent-side per-cell Aux, in cell order
+	cellSeq int         // RunCells invocations on this table, for journal keys
+}
+
+// AddAux appends numeric by-products to a cell fragment (see Aux).
+func (t *Table) AddAux(vs ...float64) { t.Aux = append(t.Aux, vs...) }
+
+// CellAux returns cell i's Aux vector from the last RunCells, never nil.
+func (t *Table) CellAux(i int) []float64 {
+	if i < 0 || i >= len(t.cellAux) {
+		return nil
+	}
+	return t.cellAux[i]
 }
 
 // AddRow appends a formatted row; values are stringified with %v.
@@ -147,22 +170,37 @@ type Scale struct {
 	ExactSamples bool
 }
 
-// ExtendTo widens the N sweep by doubling the top size until maxN
-// (inclusive), preserving the power-of-two grid the log2 scalings assume.
-// It is how the CLI's -max-n flag stretches QuickScale/FullScale to the
-// wide-range separation sweep (N up to 2^16) without redefining the
-// standard scales.
-func (s Scale) ExtendTo(maxN int) Scale {
+// ExtendTo widens the N sweep by doubling the top size until exactly maxN,
+// preserving the power-of-two grid the log2 scalings assume. It is how the
+// CLI's -max-n flag stretches QuickScale/FullScale to the wide-range
+// separation sweeps (N up to 2^16, 2^20) without redefining the standard
+// scales.
+//
+// maxN must be reachable from the grid's top size by doubling; anything
+// else errors rather than silently capping the sweep below the requested
+// top (the old behavior, which made `-max-n 1000000` quietly run a 2^19
+// sweep and report it as the million-node run). The error names the two
+// nearest grid tops so the caller can snap explicitly.
+func (s Scale) ExtendTo(maxN int) (Scale, error) {
 	if len(s.Ns) == 0 {
-		return s
+		return s, nil
+	}
+	top := s.Ns[len(s.Ns)-1]
+	if maxN < top {
+		return s, fmt.Errorf("experiments: max N %d is below the scale's top size %d", maxN, top)
 	}
 	ns := append([]int(nil), s.Ns...)
-	for last := ns[len(ns)-1]; last*2 <= maxN; {
+	last := top
+	for last < maxN {
 		last *= 2
 		ns = append(ns, last)
 	}
+	if last != maxN {
+		return s, fmt.Errorf("experiments: max N %d is not a power-of-two multiple of the grid top %d; use %d or %d",
+			maxN, top, last/2, last)
+	}
 	s.Ns = ns
-	return s
+	return s, nil
 }
 
 // QuickScale is the default used by `go test -bench` and CI.

@@ -108,7 +108,10 @@ func TestTableFormatting(t *testing.T) {
 
 func TestExtendTo(t *testing.T) {
 	s := QuickScale() // Ns ends at 1024
-	wide := s.ExtendTo(1 << 16)
+	wide, err := s.ExtendTo(1 << 16)
+	if err != nil {
+		t.Fatalf("ExtendTo(2^16): %v", err)
+	}
 	want := []int{256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
 	if !reflect.DeepEqual(wide.Ns, want) {
 		t.Errorf("ExtendTo(2^16).Ns = %v, want %v", wide.Ns, want)
@@ -116,15 +119,32 @@ func TestExtendTo(t *testing.T) {
 	if !reflect.DeepEqual(s.Ns, []int{256, 512, 1024}) {
 		t.Errorf("ExtendTo mutated the receiver's grid: %v", s.Ns)
 	}
-	if got := s.ExtendTo(1024); !reflect.DeepEqual(got.Ns, s.Ns) {
-		t.Errorf("ExtendTo(no-op) changed the grid: %v", got.Ns)
+	if got, err := s.ExtendTo(1024); err != nil || !reflect.DeepEqual(got.Ns, s.Ns) {
+		t.Errorf("ExtendTo(no-op) = %v, %v; want unchanged grid", got.Ns, err)
 	}
-	if got := s.ExtendTo(3000); !reflect.DeepEqual(got.Ns, []int{256, 512, 1024, 2048}) {
-		t.Errorf("ExtendTo(3000).Ns = %v (must stop at the last power of two <= bound)", got.Ns)
+
+	deep, err := s.ExtendTo(1 << 20)
+	if err != nil {
+		t.Fatalf("ExtendTo(2^20): %v", err)
+	}
+	if top := deep.Ns[len(deep.Ns)-1]; top != 1<<20 {
+		t.Errorf("ExtendTo(2^20) tops out at %d, want %d", top, 1<<20)
+	}
+
+	// An unreachable bound errors instead of silently capping the sweep
+	// below the requested top.
+	if _, err := s.ExtendTo(3000); err == nil || !strings.Contains(err.Error(), "2048 or 4096") {
+		t.Errorf("ExtendTo(3000) = %v, want nearest-grid-top error", err)
+	}
+	if _, err := s.ExtendTo(1000000); err == nil {
+		t.Error("ExtendTo(1000000) silently accepted a non-power-of-two-multiple bound")
+	}
+	if _, err := s.ExtendTo(512); err == nil {
+		t.Error("ExtendTo below the grid top must error")
 	}
 	empty := Scale{}
-	if got := empty.ExtendTo(1024); len(got.Ns) != 0 {
-		t.Errorf("ExtendTo on an empty grid invented sizes: %v", got.Ns)
+	if got, err := empty.ExtendTo(1024); err != nil || len(got.Ns) != 0 {
+		t.Errorf("ExtendTo on an empty grid: %v, %v", got.Ns, err)
 	}
 }
 

@@ -1,0 +1,275 @@
+package experiments
+
+// Resumable sweep cells: a per-cell result journal that lets a long
+// nowbench sweep survive interruption. Every completed RunCells cell —
+// the per-size / per-trial unit the worker pool schedules — appends one
+// JSON line holding the cell's table rows, notes and aux vector. On the
+// next run with the same journal, cells found in the journal are served
+// from it instead of re-simulating, so a killed 2^20 sweep resumes from
+// its last completed cell. Because a cell's record is exactly what it
+// contributes to the assembled table (pre-rendered rows plus the aux
+// floats cross-cell notes are fitted from), a resumed run's tables are
+// byte-identical to an uninterrupted one.
+//
+// Crash tolerance: records are newline-terminated appends; a process
+// killed mid-write leaves at most one truncated final line, which the
+// loader drops (that cell simply re-runs). A malformed line anywhere
+// else is reported as corruption, not skipped. The journal's first line
+// is a fingerprint of the run configuration (scale grid, seeds, modes);
+// resuming under any other configuration is refused rather than mixing
+// incompatible cells.
+//
+// The journal file itself is not byte-deterministic — lines land in cell
+// completion order, which depends on worker scheduling — but its CONTENT
+// is: one record per key, each deterministic in the run seed. Consumers
+// (resume, BenchJSON) are order-independent.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// journalHeader is the first line of a journal file.
+type journalHeader struct {
+	Journal     string `json:"journal"`
+	V           int    `json:"v"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// cellRecord is one completed cell.
+type cellRecord struct {
+	Key   string     `json:"key"`
+	Rows  [][]string `json:"rows"`
+	Notes []string   `json:"notes,omitempty"`
+	Aux   []float64  `json:"aux,omitempty"`
+	// Ms is the cell's wall-clock in milliseconds, from the clock the
+	// opener injected (0 without one). It feeds benchmark trajectories
+	// (BENCH_2e20.json), never tables, so it does not break resume
+	// equivalence.
+	Ms int64 `json:"ms,omitempty"`
+}
+
+// Journal is an open cell journal. Safe for concurrent use by the worker
+// pool.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	cells map[string]*cellRecord
+	now   func() int64 // millisecond clock, nil = no timing
+}
+
+const journalMagic = "nowbench-cells"
+
+// activeJournal is the journal RunCells consults; nil disables
+// checkpointing. Guarded by activeMu: it is set once before a sweep and
+// cleared after, but tests open and close journals repeatedly.
+var (
+	activeMu      sync.Mutex
+	activeJournal *Journal
+)
+
+// OpenJournal opens (creating or resuming) the cell journal at path and
+// installs it for subsequent experiment runs. fingerprint must capture
+// everything the cells' results depend on (scale grid, seed, sample mode,
+// shard/cascade flavor); a journal recorded under a different fingerprint
+// is refused. nowMillis supplies per-cell wall-clock timing for benchmark
+// trajectories; nil records 0.
+func OpenJournal(path, fingerprint string, nowMillis func() int64) error {
+	j, err := loadJournal(path, fingerprint)
+	if err != nil {
+		return err
+	}
+	j.now = nowMillis
+	activeMu.Lock()
+	defer activeMu.Unlock()
+	if activeJournal != nil {
+		j.f.Close()
+		return fmt.Errorf("experiments: a journal is already open")
+	}
+	activeJournal = j
+	return nil
+}
+
+// CloseJournal uninstalls and closes the active journal (no-op when none
+// is open).
+func CloseJournal() error {
+	activeMu.Lock()
+	defer activeMu.Unlock()
+	if activeJournal == nil {
+		return nil
+	}
+	err := activeJournal.f.Close()
+	activeJournal = nil
+	return err
+}
+
+func currentJournal() *Journal {
+	activeMu.Lock()
+	defer activeMu.Unlock()
+	return activeJournal
+}
+
+// loadJournal reads an existing journal (validating its header and every
+// complete record) or creates a fresh one, and leaves the file open for
+// appends.
+func loadJournal(path, fingerprint string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		f, cerr := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if cerr != nil {
+			return nil, cerr
+		}
+		hdr, _ := json.Marshal(journalHeader{Journal: journalMagic, V: 1, Fingerprint: fingerprint})
+		if _, werr := f.Write(append(hdr, '\n')); werr != nil {
+			f.Close()
+			return nil, werr
+		}
+		return &Journal{f: f, cells: make(map[string]*cellRecord)}, nil
+	case err != nil:
+		return nil, err
+	}
+
+	lines := strings.Split(string(data), "\n")
+	// A crash mid-append leaves a final line without its terminating
+	// newline; never treat that fragment as corruption — drop it and let
+	// the cell re-run. (A cleanly written file ends with "\n", so the
+	// final split element is empty and dropping it is a no-op.)
+	lines = lines[:len(lines)-1]
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("experiments: journal %s: empty header", path)
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil || hdr.Journal != journalMagic {
+		return nil, fmt.Errorf("experiments: journal %s: not a nowbench cell journal", path)
+	}
+	if hdr.V != 1 {
+		return nil, fmt.Errorf("experiments: journal %s: unsupported version %d", path, hdr.V)
+	}
+	if hdr.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("experiments: journal %s was recorded for a different run configuration (journal %q, this run %q); delete it or point -checkpoint elsewhere",
+			path, hdr.Fingerprint, fingerprint)
+	}
+	// The trim above already dropped a truncated final record (its line
+	// had no terminating newline); every remaining line must parse.
+	cells := make(map[string]*cellRecord, len(lines)-1)
+	for i, line := range lines[1:] {
+		rec := &cellRecord{}
+		if err := json.Unmarshal([]byte(line), rec); err != nil || rec.Key == "" {
+			return nil, fmt.Errorf("experiments: journal %s: corrupt record on line %d", path, i+2)
+		}
+		cells[rec.Key] = rec
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f, cells: cells}, nil
+}
+
+// lookup returns the journaled record for key, if any.
+func (j *Journal) lookup(key string) (*cellRecord, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.cells[key]
+	return rec, ok
+}
+
+// record persists one completed cell. The line is flushed before the cell
+// is considered checkpointed, so a later crash never loses it.
+func (j *Journal) record(rec *cellRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("experiments: journal append: %w", err)
+	}
+	j.cells[rec.Key] = rec
+	return nil
+}
+
+// millis reads the injected clock (0 without one).
+func (j *Journal) millis() int64 {
+	if j.now == nil {
+		return 0
+	}
+	return j.now()
+}
+
+// BenchPoint is one cell's timing in a benchmark trajectory.
+type BenchPoint struct {
+	Key string `json:"key"`
+	Ms  int64  `json:"ms"`
+}
+
+// BenchTrajectory summarizes the active journal's per-cell timings, keys
+// sorted, for BENCH_*.json emission: future changes prove speedups against
+// a recorded trajectory instead of asserting them.
+func BenchTrajectory() (points []BenchPoint, totalMs int64, ok bool) {
+	j := currentJournal()
+	if j == nil {
+		return nil, 0, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	points = make([]BenchPoint, 0, len(j.cells))
+	for key, rec := range j.cells {
+		points = append(points, BenchPoint{Key: key, Ms: rec.Ms})
+		totalMs += rec.Ms
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Key < points[j].Key })
+	return points, totalMs, true
+}
+
+// fragRecord converts a completed fragment into its journal record.
+func fragRecord(key string, frag *Table, ms int64) *cellRecord {
+	rec := &cellRecord{Key: key, Rows: frag.Rows, Notes: frag.Notes, Aux: frag.Aux, Ms: ms}
+	if rec.Rows == nil {
+		rec.Rows = [][]string{}
+	}
+	return rec
+}
+
+// recordFrag reconstitutes a journaled cell as a table fragment.
+func (rec *cellRecord) frag(t *Table) *Table {
+	frag := t.Fragment()
+	frag.Rows = rec.Rows
+	frag.Notes = rec.Notes
+	frag.Aux = rec.Aux
+	return frag
+}
+
+// testCellInterrupt, when non-nil, is consulted before each live cell run;
+// returning an error aborts the sweep exactly as a kill signal between
+// cell completions would. Checkpoint equivalence tests use it to
+// deterministically "die" mid-sweep.
+var testCellInterrupt func(key string) error
+
+// ReadJournalKeys reports the cell keys currently recorded in the journal
+// at path, without installing it (diagnostics and tests).
+func ReadJournalKeys(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(string(data), "\n")
+	var keys []string
+	for i, line := range lines[1:] {
+		if line == "" || (i == len(lines)-2 && !strings.HasSuffix(string(data), "\n")) {
+			continue
+		}
+		var rec cellRecord
+		if err := json.Unmarshal([]byte(line), &rec); err == nil && rec.Key != "" {
+			keys = append(keys, rec.Key)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

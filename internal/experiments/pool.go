@@ -218,21 +218,49 @@ func (t *Table) Splice(frag *Table) {
 // RunCells executes body for each cell on the worker pool, handing every
 // cell a private table fragment, then splices the fragments into t in
 // submission order. Experiment-level notes computed from cross-cell
-// aggregates belong after RunCells returns; per-cell aux values should be
-// written to caller-owned index-addressed slices inside body.
+// aggregates belong after RunCells returns and must read per-cell numbers
+// via frag.AddAux / t.CellAux — NOT closure-captured slices: when a
+// resume journal (OpenJournal) is active, completed cells are served from
+// the journal without re-running body, and only the fragment's contents
+// survive that path.
 func (t *Table) RunCells(count int, body func(i int, frag *Table) error) error {
+	t.cellSeq++
+	seq := t.cellSeq
+	jnl := currentJournal()
 	frags, err := mapCells(count, func(i int) (*Table, error) {
+		key := fmt.Sprintf("%s#%d/%d", t.ID, seq, i)
+		if jnl != nil {
+			if rec, ok := jnl.lookup(key); ok {
+				return rec.frag(t), nil
+			}
+		}
+		if testCellInterrupt != nil {
+			if err := testCellInterrupt(key); err != nil {
+				return nil, err
+			}
+		}
+		var startMs int64
+		if jnl != nil {
+			startMs = jnl.millis()
+		}
 		frag := t.Fragment()
 		if err := body(i, frag); err != nil {
 			return nil, err
+		}
+		if jnl != nil {
+			if err := jnl.record(fragRecord(key, frag, jnl.millis()-startMs)); err != nil {
+				return nil, err
+			}
 		}
 		return frag, nil
 	})
 	if err != nil {
 		return err
 	}
+	t.cellAux = t.cellAux[:0]
 	for _, frag := range frags {
 		t.Splice(frag)
+		t.cellAux = append(t.cellAux, frag.Aux)
 	}
 	return nil
 }

@@ -141,6 +141,11 @@ func (g *Graph[V]) Vertices() []V {
 	return out
 }
 
+// VertexAt returns the i-th vertex in insertion order without copying the
+// vertex list; 0 <= i < NumVertices. Uniform vertex draws in hot paths use
+// this instead of Vertices to stay allocation-free.
+func (g *Graph[V]) VertexAt(i int) V { return g.order[i] }
+
 // MinDegree returns the minimum degree, or 0 for an empty graph.
 func (g *Graph[V]) MinDegree() int {
 	first := true

@@ -81,6 +81,10 @@ func (l *Ledger) AddRounds(r int64) {
 	l.rounds += r
 }
 
+// Reset zeroes the ledger so a pooled private ledger can be reused across
+// scheduler batches without reallocation.
+func (l *Ledger) Reset() { *l = Ledger{} }
+
 // Merge folds another ledger's totals into this one. The op scheduler
 // charges each planned operation to a private ledger and merges them in
 // operation order, keeping batch totals deterministic under concurrency.
@@ -136,6 +140,27 @@ func (l *Ledger) Since(s Snapshot) Cost {
 		if d != 0 {
 			c.ByClass[i] = d
 		}
+		c.Messages += d
+	}
+	return c
+}
+
+// CostVec is Cost with a dense per-class vector instead of a map: the
+// value form allocates nothing, so per-operation cost sampling inside hot
+// simulation loops stays garbage-free. Classes with zero delta simply hold
+// zero (the map form omits them).
+type CostVec struct {
+	Messages int64
+	Rounds   int64
+	ByClass  [numClasses]int64
+}
+
+// SinceVec is Since in the allocation-free vector form.
+func (l *Ledger) SinceVec(s Snapshot) CostVec {
+	c := CostVec{Rounds: l.rounds - s.rounds}
+	for i := Class(0); i < numClasses; i++ {
+		d := l.msgs[i] - s.msgs[i]
+		c.ByClass[i] = d
 		c.Messages += d
 	}
 	return c

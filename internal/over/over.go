@@ -104,6 +104,10 @@ func (o *Overlay) Has(c ids.ClusterID) bool { return o.g.HasVertex(c) }
 // Vertices returns the overlay vertices in insertion order.
 func (o *Overlay) Vertices() []ids.ClusterID { return o.g.Vertices() }
 
+// VertexAt returns the i-th overlay vertex in insertion order without
+// copying the vertex list; 0 <= i < NumVertices.
+func (o *Overlay) VertexAt(i int) ids.ClusterID { return o.g.VertexAt(i) }
+
 // Bootstrap installs the initial Erdos-Renyi overlay over the given
 // vertices with edge probability p, then adds a deterministic spanning
 // chain between connected components so the walk-based machinery is usable

@@ -166,6 +166,12 @@ type Runner struct {
 	schedule workload.Schedule
 	rng      *xrand.Rand
 	rejoins  []ids.NodeID
+
+	// Concurrent-driver scratch, reused across steps so long runs do not
+	// allocate per step (the million-node sweeps run ~N steps per cell).
+	victims map[ids.NodeID]bool
+	ops     []core.Op
+	results []core.OpResult
 }
 
 // New builds a runner: world bootstrap (with the adversary corrupting its
@@ -401,8 +407,13 @@ func (r *Runner) stepBatch(step, minSize int, res *Result) error {
 	startN := r.world.NumNodes()
 	projN := startN
 	joins := 0
-	victims := make(map[ids.NodeID]bool)
-	ops := make([]core.Op, 0, r.cfg.OpsPerStep)
+	if r.victims == nil {
+		r.victims = make(map[ids.NodeID]bool)
+	} else {
+		clear(r.victims)
+	}
+	victims := r.victims
+	ops := r.ops[:0]
 	for tries := 0; len(ops) < r.cfg.OpsPerStep && tries < 4*r.cfg.OpsPerStep; tries++ {
 		var dir adversary.Direction
 		switch {
@@ -458,7 +469,9 @@ func (r *Runner) stepBatch(step, minSize int, res *Result) error {
 		}
 	}
 
-	results := r.world.ExecBatch(ops)
+	r.ops = ops
+	results := r.world.ExecBatchInto(r.results, ops)
+	r.results = results
 	res.BatchedOps += len(ops)
 	for _, rr := range results {
 		if rr.Deferred {
@@ -482,7 +495,12 @@ func (r *Runner) recordOpCost(res *Result, kind adversary.OpKind, snap metrics.S
 	if !r.cfg.SampleOpCosts {
 		return
 	}
-	cost := r.world.Ledger().Since(snap)
+	// SinceVec is the dense, allocation-free form of Since: its ByClass
+	// array holds every class, including the zero charges Cost.ByClass
+	// omits, so each histogram's N is the sampled-op count and its
+	// quantiles are true per-op distributions, not distributions
+	// conditioned on the class having been used.
+	cost := r.world.Ledger().SinceVec(snap)
 	switch kind {
 	case adversary.OpJoin:
 		res.OpCosts.JoinMsgs.Add(float64(cost.Messages))
@@ -491,11 +509,7 @@ func (r *Runner) recordOpCost(res *Result, kind adversary.OpKind, snap metrics.S
 		res.OpCosts.LeaveMsgs.Add(float64(cost.Messages))
 		res.OpCosts.LeaveRounds.Add(float64(cost.Rounds))
 	}
-	// Every class records every sampled operation — including the zero
-	// charges Cost.ByClass omits — so each histogram's N is the sampled-op
-	// count and its quantiles are true per-op distributions, not
-	// distributions conditioned on the class having been used.
 	for c := 0; c < metrics.NumClasses; c++ {
-		res.OpCosts.ClassMsgs[c].Add(float64(cost.ByClass[metrics.Class(c)]))
+		res.OpCosts.ClassMsgs[c].Add(float64(cost.ByClass[c]))
 	}
 }

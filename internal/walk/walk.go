@@ -95,10 +95,23 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Walker runs CTRWs over a Topology.
+// Walker runs CTRWs over a Topology. It is NOT safe for concurrent use:
+// the steer objectives below carry per-draw state through walker fields so
+// the hot path builds no closures. Give each concurrent planner its own
+// walker (the op scheduler does).
 type Walker struct {
 	cfg  Config
 	topo Topology
+
+	// Cached steer objectives (built once when cfg.Steer is set). The
+	// historical code built an equivalent closure per draw; hoisting the
+	// per-draw state into fields keeps the draws allocation-free while the
+	// objective values passed to the generator stay identical.
+	acceptObj   randnum.Objective
+	hopObj      randnum.Objective
+	acceptSize  int64
+	acceptScore float64
+	hopAt       ids.ClusterID
 }
 
 // NewWalker validates cfg and returns a walker bound to topo.
@@ -109,7 +122,19 @@ func NewWalker(cfg Config, topo Topology) (*Walker, error) {
 	if topo == nil {
 		return nil, fmt.Errorf("walk: nil topology")
 	}
-	return &Walker{cfg: cfg, topo: topo}, nil
+	w := &Walker{cfg: cfg, topo: topo}
+	if cfg.Steer != nil {
+		w.acceptObj = func(v int64) float64 {
+			if v < w.acceptSize {
+				return w.acceptScore
+			}
+			return 0
+		}
+		w.hopObj = func(v int64) float64 {
+			return w.cfg.Steer(w.topo.NeighborAt(w.hopAt, int(v)))
+		}
+	}
+	return w, nil
 }
 
 // Outcome reports one walk's endpoint and diagnostics.
@@ -155,14 +180,9 @@ func (w *Walker) Biased(led *metrics.Ledger, r *xrand.Rand, start ids.ClusterID)
 		maxSize := w.topo.MaxClusterSize()
 		var obj randnum.Objective
 		if w.cfg.Steer != nil {
-			end, size := out.End, int64(w.topo.Size(out.End))
-			score := w.cfg.Steer(end)
-			obj = func(v int64) float64 {
-				if v < size {
-					return score
-				}
-				return 0
-			}
+			w.acceptSize = int64(w.topo.Size(out.End))
+			w.acceptScore = w.cfg.Steer(out.End)
+			obj = w.acceptObj
 		}
 		v, sec, err := w.drawObj(led, r, out.End, int64(maxSize), obj)
 		if err != nil {
@@ -222,8 +242,8 @@ func (w *Walker) segment(led *metrics.Ledger, r *xrand.Rand, out *Outcome) error
 		// Next hop: uniform neighbor, cluster-agreed.
 		var obj randnum.Objective
 		if w.cfg.Steer != nil {
-			at := cur
-			obj = func(v int64) float64 { return w.cfg.Steer(w.topo.NeighborAt(at, int(v))) }
+			w.hopAt = cur
+			obj = w.hopObj
 		}
 		nv, sec2, err := w.drawObj(led, r, cur, int64(deg), obj)
 		if err != nil {

@@ -18,11 +18,15 @@ import (
 // Split.
 type Rand struct {
 	src *rand.Rand
+	// pcg is retained so SplitInto can reseed this stream in place; streams
+	// built by Split keep it nil (they are never reseed targets).
+	pcg *rand.PCG
 }
 
 // New returns a stream seeded from seed.
 func New(seed uint64) *Rand {
-	return &Rand{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &Rand{src: rand.New(pcg), pcg: pcg}
 }
 
 // Split derives an independent substream. The derivation mixes a label so
@@ -31,6 +35,23 @@ func (r *Rand) Split(label uint64) *Rand {
 	a := r.src.Uint64()
 	b := r.src.Uint64()
 	return &Rand{src: rand.New(rand.NewPCG(mix(a, label), mix(b, ^label)))}
+}
+
+// SplitInto reseeds dst in place to the exact substream Split(label) would
+// have returned, consuming the same two state words from r. A zero-value
+// dst is initialized on first use; afterwards reseeding allocates nothing,
+// which is what lets the op scheduler derive per-op substreams without
+// per-op garbage. dst must not be a stream whose generator is shared (i.e.
+// only zero values and previous SplitInto targets are valid destinations).
+func (r *Rand) SplitInto(dst *Rand, label uint64) {
+	a := r.src.Uint64()
+	b := r.src.Uint64()
+	if dst.pcg == nil {
+		dst.pcg = rand.NewPCG(mix(a, label), mix(b, ^label))
+		dst.src = rand.New(dst.pcg)
+		return
+	}
+	dst.pcg.Seed(mix(a, label), mix(b, ^label))
 }
 
 // mix is a SplitMix64-style finalizer combining a state word with a label.

@@ -247,6 +247,28 @@ func SetGroupedCascade(on bool) { core.SetDefaultGroupedCascade(on) }
 // effect.
 func GroupedCascade() bool { return core.DefaultGroupedCascade() }
 
+// OpenCheckpointJournal opens (creating or resuming) a per-cell result
+// journal and installs it for subsequent experiment runs: completed sweep
+// cells are appended as JSON lines and served from the journal on the
+// next run, so an interrupted long sweep resumes from its last completed
+// cell with byte-identical tables. fingerprint must capture the run
+// configuration (see cmd/nowbench); a journal recorded under a different
+// fingerprint is refused. nowMillis (optional, may be nil) supplies
+// wall-clock timing for benchmark trajectories.
+func OpenCheckpointJournal(path, fingerprint string, nowMillis func() int64) error {
+	return experiments.OpenJournal(path, fingerprint, nowMillis)
+}
+
+// CloseCheckpointJournal uninstalls and closes the active journal.
+func CloseCheckpointJournal() error { return experiments.CloseJournal() }
+
+// BenchPoint is one sweep cell's wall-clock timing.
+type BenchPoint = experiments.BenchPoint
+
+// BenchTrajectory reports the active journal's per-cell timings (keys
+// sorted) for BENCH_*.json emission.
+func BenchTrajectory() ([]BenchPoint, int64, bool) { return experiments.BenchTrajectory() }
+
 // QuickScale is the CI-sized experiment scale.
 func QuickScale() ExperimentScale { return experiments.QuickScale() }
 
