@@ -1,0 +1,155 @@
+// Command nownet demonstrates the message-passing transport runtime: a
+// phase-king committee runs over the deterministic loopback network in
+// reliable (request/ack) mode while the command injects link loss and a
+// temporary partition, and the protocol still decides — dropped envelopes
+// degrade into retransmissions with capped backoff, never into a stuck
+// round.
+//
+// Examples:
+//
+//	nownet                          # 9 nodes, 15% loss, node 8 partitioned
+//	nownet -n 13 -t 3 -drop 0.3
+//	nownet -drop 0 -cut -1          # clean network, no partition
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nowover/internal/ids"
+	"nowover/internal/metrics"
+	"nowover/internal/nownet"
+	"nowover/internal/runtime"
+)
+
+// config is the parsed command line.
+type config struct {
+	n       int
+	faults  int
+	seed    uint64
+	drop    float64
+	cut     int64 // partitioned node id, -1 to disable
+	healAt  int64
+	inputs  string
+	rtTicks int64
+}
+
+// parseConfig parses the command line and validates the committee shape.
+func parseConfig(args []string) (*config, error) {
+	fs := flag.NewFlagSet("nownet", flag.ContinueOnError)
+	c := &config{}
+	fs.IntVar(&c.n, "n", 9, "committee size")
+	fs.IntVar(&c.faults, "t", 2, "max Byzantine faults tolerated (needs n > 4t)")
+	fs.Uint64Var(&c.seed, "seed", 11, "seed for the per-link fault streams")
+	fs.Float64Var(&c.drop, "drop", 0.15, "per-envelope drop probability on every link")
+	fs.Int64Var(&c.cut, "cut", -1<<62, "node to partition away at tick 0 (default: highest id; -1 disables)")
+	fs.Int64Var(&c.healAt, "heal", 500, "tick at which the partition heals")
+	fs.StringVar(&c.inputs, "inputs", "mixed", "honest inputs: mixed | unanimous")
+	fs.Int64Var(&c.rtTicks, "round-ticks", 1024, "virtual-time length of one protocol round")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if c.n <= 4*c.faults {
+		return nil, fmt.Errorf("phase king needs n > 4t, got n=%d t=%d", c.n, c.faults)
+	}
+	if c.inputs != "mixed" && c.inputs != "unanimous" {
+		return nil, fmt.Errorf("unknown -inputs %q", c.inputs)
+	}
+	if c.cut == -1<<62 {
+		c.cut = int64(c.n - 1)
+	}
+	return c, nil
+}
+
+// run executes the demo scenario and writes the report.
+func run(c *config, out io.Writer) error {
+	rounds := 2*(c.faults+1) + 1
+	cfg := runtime.PhaseKingConfig{MaxFaults: c.faults}
+	for i := 0; i < c.n; i++ {
+		cfg.Members = append(cfg.Members, ids.NodeID(i))
+	}
+	procs := make(map[ids.NodeID]runtime.Process, c.n)
+	nodes := make(map[ids.NodeID]*runtime.PhaseKingNode, c.n)
+	for i := 0; i < c.n; i++ {
+		id := ids.NodeID(i)
+		input := int64(1)
+		if c.inputs == "mixed" {
+			input = int64(i % 2)
+		}
+		node := runtime.NewPhaseKingNode(cfg, id, input)
+		procs[id] = node
+		nodes[id] = node
+	}
+
+	net := nownet.NewLoopback(nownet.Config{
+		Seed: c.seed,
+		Link: nownet.LinkConfig{Latency: 1, Drop: c.drop},
+	})
+	defer net.Close()
+	cluster, err := nownet.NewCluster(net, procs, nownet.HostConfig{
+		Rounds:     rounds,
+		RoundTicks: c.rtTicks,
+		Mode:       nownet.ModeReliable,
+		Policy:     nownet.RetryPolicy{Timeout: 4, Retries: 4, Backoff: 2, Cap: 32},
+		Class:      metrics.ClassAgreement,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "nownet: phase king, n=%d t=%d rounds=%d, drop=%.2f seed=%d\n",
+		c.n, c.faults, rounds, c.drop, c.seed)
+	if c.cut >= 0 {
+		net.SetPartition(map[ids.NodeID]int{ids.NodeID(c.cut): 1})
+		net.At(c.healAt, func() { net.SetPartition(nil) })
+		fmt.Fprintf(out, "partition: node %d cut at tick 0, healed at tick %d\n", c.cut, c.healAt)
+	}
+	cluster.Start()
+	net.Run()
+
+	agree := true
+	var first int64
+	for i := 0; i < c.n; i++ {
+		id := ids.NodeID(i)
+		v, ok := nodes[id].Decision()
+		if !ok {
+			fmt.Fprintf(out, "node %d: UNDECIDED\n", i)
+			agree = false
+			continue
+		}
+		fmt.Fprintf(out, "node %d: decided %d\n", i, v)
+		if i == 0 {
+			first = v
+		} else if v != first {
+			agree = false
+		}
+	}
+	s := net.Stats()
+	ns, hs := cluster.Stats()
+	led := cluster.Ledger()
+	fmt.Fprintf(out, "transport: sent=%d delivered=%d dropped(random=%d partition=%d)\n",
+		s.Sent, s.Delivered, s.DroppedRandom, s.DroppedPartition)
+	fmt.Fprintf(out, "runtime: emitted=%d retries=%d timeouts=%d undelivered=%d duplicates=%d stale=%d\n",
+		hs.Emitted, ns.Retries, ns.Timeouts, hs.Undelivered, hs.Duplicates, hs.Stale)
+	fmt.Fprintf(out, "ledger: agreement=%d transport-overhead=%d\n",
+		led.MessagesBy(metrics.ClassAgreement), led.MessagesBy(metrics.ClassTransport))
+	if !agree {
+		fmt.Fprintln(out, "verdict: DISAGREEMENT")
+		return fmt.Errorf("committee failed to agree")
+	}
+	fmt.Fprintln(out, "verdict: AGREEMENT despite injected faults")
+	return nil
+}
+
+func main() {
+	cfg, err := parseConfig(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseConfig(t *testing.T) {
+	c, err := parseConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.n != 9 || c.faults != 2 || c.cut != 8 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if _, err := parseConfig([]string{"-n", "8", "-t", "2"}); err == nil {
+		t.Error("accepted n <= 4t")
+	}
+	if _, err := parseConfig([]string{"-inputs", "bogus"}); err == nil {
+		t.Error("accepted unknown input pattern")
+	}
+	c, err = parseConfig([]string{"-cut", "-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cut != -1 {
+		t.Errorf("cut = %d, want -1 (disabled)", c.cut)
+	}
+}
+
+func TestRunDecidesUnderFaults(t *testing.T) {
+	c, err := parseConfig([]string{"-inputs", "unanimous"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(c, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "verdict: AGREEMENT") {
+		t.Errorf("missing agreement verdict:\n%s", got)
+	}
+	// Unanimous input 1 must survive arbitrary loss: every decision is 1.
+	if strings.Contains(got, "decided 0") || strings.Contains(got, "UNDECIDED") {
+		t.Errorf("validity violated:\n%s", got)
+	}
+	if !strings.Contains(got, "partition: node 8") {
+		t.Errorf("partition not reported:\n%s", got)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	c, err := parseConfig([]string{"-inputs", "mixed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	if err := run(c, &a); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := parseConfig([]string{"-inputs", "mixed"})
+	if err := run(c2, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same-seed runs diverged:\n--- a ---\n%s--- b ---\n%s", a.String(), b.String())
+	}
+}
+
+func TestRunCleanNetwork(t *testing.T) {
+	c, err := parseConfig([]string{"-drop", "0", "-cut", "-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(c, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "dropped(random=0 partition=0)") {
+		t.Errorf("clean network dropped envelopes:\n%s", out.String())
+	}
+}

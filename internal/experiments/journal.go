@@ -124,10 +124,22 @@ func loadJournal(path, fingerprint string) (*Journal, error) {
 		if cerr != nil {
 			return nil, cerr
 		}
-		hdr, _ := json.Marshal(journalHeader{Journal: journalMagic, V: 1, Fingerprint: fingerprint})
+		hdr, herr := json.Marshal(journalHeader{Journal: journalMagic, V: 1, Fingerprint: fingerprint})
+		if herr != nil {
+			f.Close()
+			return nil, fmt.Errorf("experiments: journal header: %w", herr)
+		}
 		if _, werr := f.Write(append(hdr, '\n')); werr != nil {
 			f.Close()
 			return nil, werr
+		}
+		// Sync the header before any cell is recorded: "crash-tolerant"
+		// must mean power-loss-tolerant, not just kill-9-tolerant — a
+		// buffered header that never reached the disk would make every
+		// synced cell after it unreadable.
+		if serr := f.Sync(); serr != nil {
+			f.Close()
+			return nil, fmt.Errorf("experiments: journal header sync: %w", serr)
 		}
 		return &Journal{f: f, cells: make(map[string]*cellRecord)}, nil
 	case err != nil:
@@ -179,17 +191,21 @@ func (j *Journal) lookup(key string) (*cellRecord, bool) {
 	return rec, ok
 }
 
-// record persists one completed cell. The line is flushed before the cell
-// is considered checkpointed, so a later crash never loses it.
+// record persists one completed cell. The line is written AND fsynced
+// before the cell is considered checkpointed, so neither a crash nor a
+// power loss after record returns can lose it.
 func (j *Journal) record(rec *cellRecord) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
-		return err
+		return fmt.Errorf("experiments: journal record: %w", err)
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if _, err := j.f.Write(append(line, '\n')); err != nil {
 		return fmt.Errorf("experiments: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("experiments: journal sync: %w", err)
 	}
 	j.cells[rec.Key] = rec
 	return nil

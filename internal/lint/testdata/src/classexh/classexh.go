@@ -45,7 +45,8 @@ func describeAll(c metrics.Class) string {
 	case metrics.ClassIntraCluster, metrics.ClassInterCluster,
 		metrics.ClassWalk, metrics.ClassRandNum, metrics.ClassExchange,
 		metrics.ClassDiscovery, metrics.ClassAgreement,
-		metrics.ClassApplication, metrics.ClassCascade:
+		metrics.ClassApplication, metrics.ClassCascade,
+		metrics.ClassTransport:
 		return "known"
 	}
 	return ""

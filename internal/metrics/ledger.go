@@ -29,6 +29,7 @@ const (
 	ClassAgreement                 // Byzantine agreement traffic
 	ClassApplication               // application-layer traffic (broadcast etc.)
 	ClassCascade                   // grouped leave-cascade shuffle rounds
+	ClassTransport                 // transport-layer overhead (acks, retransmissions)
 	numClasses
 )
 
@@ -46,6 +47,7 @@ var _classNames = [numClasses]string{
 	"agreement",
 	"application",
 	"cascade",
+	"transport",
 }
 
 // String implements fmt.Stringer.

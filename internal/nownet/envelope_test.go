@@ -1,0 +1,162 @@
+package nownet
+
+import (
+	"bytes"
+	"testing"
+
+	"nowover/internal/ids"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	cases := []Envelope{
+		{Kind: KindOneway, Type: 1, From: 1, To: 2, MsgID: 1},
+		{Kind: KindRequest, Type: 0, From: 0, To: 0, MsgID: 0, Payload: []byte{}},
+		{Kind: KindResponse, Type: 255, From: ids.NodeID(^uint64(0)), To: 7, MsgID: ^uint64(0), Payload: []byte("hello")},
+		{Kind: KindOneway, Type: 9, From: 3, To: 4, MsgID: 12, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	for i, e := range cases {
+		wire, err := e.Encode(nil)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		got, n, err := DecodeEnvelope(wire)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if n != len(wire) {
+			t.Errorf("case %d: consumed %d of %d bytes", i, n, len(wire))
+		}
+		if got.Kind != e.Kind || got.Type != e.Type || got.From != e.From ||
+			got.To != e.To || got.MsgID != e.MsgID || !bytes.Equal(got.Payload, e.Payload) {
+			t.Errorf("case %d: round trip %+v -> %+v", i, e, got)
+		}
+	}
+}
+
+func TestEnvelopeEncodeAppends(t *testing.T) {
+	e := Envelope{Kind: KindOneway, Type: 1, From: 1, To: 2, MsgID: 3, Payload: []byte("x")}
+	prefix := []byte("prefix")
+	wire, err := e.Encode(append([]byte(nil), prefix...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(wire, prefix) {
+		t.Fatal("Encode did not append to the supplied buffer")
+	}
+	if _, _, err := DecodeEnvelope(wire[len(prefix):]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvelopeDecodeConsumesOneFrame(t *testing.T) {
+	a := Envelope{Kind: KindRequest, Type: 1, From: 1, To: 2, MsgID: 1, Payload: []byte("first")}
+	b := Envelope{Kind: KindResponse, Type: 1, From: 2, To: 1, MsgID: 1, Payload: []byte("second")}
+	wire, err := a.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err = b.Encode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, n, err := DecodeEnvelope(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _, err := DecodeEnvelope(wire[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got1.Payload) != "first" || string(got2.Payload) != "second" {
+		t.Errorf("frames out of order: %q, %q", got1.Payload, got2.Payload)
+	}
+}
+
+func TestEnvelopePayloadCopied(t *testing.T) {
+	e := Envelope{Kind: KindOneway, Type: 1, From: 1, To: 2, MsgID: 3, Payload: []byte("abc")}
+	wire, err := e.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeEnvelope(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire[len(wire)-1] = 'Z' // scribble on the buffer after decode
+	if string(got.Payload) != "abc" {
+		t.Error("decoded payload aliases the wire buffer")
+	}
+}
+
+func TestEnvelopeRejects(t *testing.T) {
+	valid, err := Envelope{Kind: KindOneway, Type: 1, From: 1, To: 2, MsgID: 3, Payload: []byte("abc")}.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Envelope{Kind: 0, Type: 1}).Encode(nil); err == nil {
+		t.Error("encoded the invalid zero kind")
+	}
+	if _, err := (Envelope{Kind: 17, Type: 1}).Encode(nil); err == nil {
+		t.Error("encoded an out-of-range kind")
+	}
+	if _, err := (Envelope{Kind: KindOneway, Payload: make([]byte, MaxPayload+1)}).Encode(nil); err == nil {
+		t.Error("encoded an oversize payload")
+	}
+	if _, _, err := DecodeEnvelope(valid[:envHeaderSize-1]); err == nil {
+		t.Error("decoded a short header")
+	}
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] = 0x00
+	if _, _, err := DecodeEnvelope(badMagic); err == nil {
+		t.Error("decoded a frame with bad magic")
+	}
+	badKind := append([]byte(nil), valid...)
+	badKind[1] = 0
+	if _, _, err := DecodeEnvelope(badKind); err == nil {
+		t.Error("decoded a frame with an invalid kind")
+	}
+	if _, _, err := DecodeEnvelope(valid[:len(valid)-1]); err == nil {
+		t.Error("decoded a truncated payload")
+	}
+	// A hostile length prefix must be rejected before allocation.
+	huge := append([]byte(nil), valid[:envHeaderSize]...)
+	huge[27], huge[28], huge[29], huge[30] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := DecodeEnvelope(huge); err == nil {
+		t.Error("accepted a length prefix beyond MaxPayload")
+	}
+}
+
+// FuzzEnvelope round-trips the codec both ways: any envelope that encodes
+// must decode back to itself, and any byte soup that decodes must
+// re-encode to the exact bytes it consumed.
+func FuzzEnvelope(f *testing.F) {
+	seed, _ := Envelope{Kind: KindRequest, Type: 3, From: 1, To: 2, MsgID: 42, Payload: []byte("seed")}.Encode(nil)
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{envMagic})
+	f.Add(bytes.Repeat([]byte{0xE7}, envHeaderSize+4))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, n, err := DecodeEnvelope(data)
+		if err != nil {
+			return
+		}
+		if n < envHeaderSize || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		re, err := env.Encode(nil)
+		if err != nil {
+			t.Fatalf("decoded envelope failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", data[:n], re)
+		}
+		again, n2, err := DecodeEnvelope(re)
+		if err != nil || n2 != n {
+			t.Fatalf("second decode: n=%d err=%v", n2, err)
+		}
+		if again.Kind != env.Kind || again.Type != env.Type || again.From != env.From ||
+			again.To != env.To || again.MsgID != env.MsgID || !bytes.Equal(again.Payload, env.Payload) {
+			t.Fatalf("decode not stable: %+v vs %+v", env, again)
+		}
+	})
+}

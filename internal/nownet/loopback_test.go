@@ -1,0 +1,314 @@
+package nownet
+
+import (
+	"testing"
+
+	"nowover/internal/ids"
+)
+
+// openOrFatal opens an endpoint or fails the test.
+func openOrFatal(t *testing.T, n *LoopbackNet, id ids.NodeID) Endpoint {
+	t.Helper()
+	ep, err := n.Open(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep
+}
+
+func TestLoopbackDeliversAtLatency(t *testing.T) {
+	net := NewLoopback(Config{Link: LinkConfig{Latency: 5}})
+	a := openOrFatal(t, net, 1)
+	b := openOrFatal(t, net, 2)
+	var gotAt int64 = -1
+	b.Go(func() {
+		if _, ok := b.Recv(); ok {
+			gotAt = b.Now()
+		}
+	})
+	a.Go(func() {
+		if err := a.Send(Envelope{Kind: KindOneway, Type: 1, From: 1, To: 2, MsgID: 1}); err != nil {
+			t.Error(err)
+		}
+	})
+	net.Run()
+	if gotAt != 5 {
+		t.Errorf("delivered at tick %d, want 5", gotAt)
+	}
+	if s := net.Stats(); s.Sent != 1 || s.Delivered != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	net.Close()
+}
+
+func TestLoopbackFIFOPerLink(t *testing.T) {
+	net := NewLoopback(Config{Link: LinkConfig{Latency: 1}})
+	a := openOrFatal(t, net, 1)
+	b := openOrFatal(t, net, 2)
+	var order []uint64
+	b.Go(func() {
+		for i := 0; i < 3; i++ {
+			env, ok := b.Recv()
+			if !ok {
+				return
+			}
+			order = append(order, env.MsgID)
+		}
+	})
+	a.Go(func() {
+		for i := uint64(1); i <= 3; i++ {
+			_ = a.Send(Envelope{Kind: KindOneway, Type: 1, From: 1, To: 2, MsgID: i})
+		}
+	})
+	net.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("same-link same-tick envelopes reordered: %v", order)
+	}
+	net.Close()
+}
+
+func TestLoopbackDeliveriesBeforeTimers(t *testing.T) {
+	// A goroutine sleeping to tick 3 must observe the envelope due at tick 3
+	// when it wakes: deliveries are processed before timers within a tick.
+	net := NewLoopback(Config{Link: LinkConfig{Latency: 3}})
+	a := openOrFatal(t, net, 1)
+	b := openOrFatal(t, net, 2)
+	sawAtWake := -1
+	bEp := b.(*loopEndpoint)
+	b.Go(func() {
+		b.SleepUntil(3)
+		sawAtWake = len(bEp.inbox)
+	})
+	a.Go(func() {
+		_ = a.Send(Envelope{Kind: KindOneway, Type: 1, From: 1, To: 2, MsgID: 1})
+	})
+	net.Run()
+	if sawAtWake != 1 {
+		t.Errorf("woke with %d envelopes in the inbox, want 1", sawAtWake)
+	}
+	net.Close()
+}
+
+func TestLoopbackDropDeterministic(t *testing.T) {
+	run := func() (NetStats, []uint64) {
+		net := NewLoopback(Config{Seed: 7, Link: LinkConfig{Latency: 1, Drop: 0.4, Jitter: 3}})
+		a := openOrFatal(t, net, 1)
+		b := openOrFatal(t, net, 2)
+		var got []uint64
+		b.Go(func() {
+			for {
+				env, ok := b.Recv()
+				if !ok {
+					return
+				}
+				got = append(got, env.MsgID)
+			}
+		})
+		a.Go(func() {
+			for i := uint64(1); i <= 50; i++ {
+				_ = a.Send(Envelope{Kind: KindOneway, Type: 1, From: 1, To: 2, MsgID: i})
+			}
+		})
+		net.Run()
+		s := net.Stats()
+		net.Close()
+		return s, got
+	}
+	s1, got1 := run()
+	s2, got2 := run()
+	if s1 != s2 {
+		t.Errorf("same-seed stats diverged: %+v vs %+v", s1, s2)
+	}
+	if len(got1) != len(got2) {
+		t.Fatalf("same-seed deliveries diverged: %d vs %d", len(got1), len(got2))
+	}
+	for i := range got1 {
+		if got1[i] != got2[i] {
+			t.Fatalf("same-seed delivery order diverged at %d: %d vs %d", i, got1[i], got2[i])
+		}
+	}
+	if s1.DroppedRandom == 0 {
+		t.Error("drop probability 0.4 dropped nothing in 50 sends")
+	}
+	if s1.Delivered == 0 {
+		t.Error("drop probability 0.4 dropped everything")
+	}
+	if s1.Sent != 50 || s1.Delivered+s1.DroppedRandom != 50 {
+		t.Errorf("stats don't add up: %+v", s1)
+	}
+}
+
+func TestLoopbackPartitionAndHeal(t *testing.T) {
+	net := NewLoopback(Config{Link: LinkConfig{Latency: 1}})
+	a := openOrFatal(t, net, 1)
+	b := openOrFatal(t, net, 2)
+	var got []uint64
+	b.Go(func() {
+		for {
+			env, ok := b.Recv()
+			if !ok {
+				return
+			}
+			got = append(got, env.MsgID)
+		}
+	})
+	net.SetPartition(map[ids.NodeID]int{2: 1}) // 1 is in group 0 by default
+	a.Go(func() {
+		_ = a.Send(Envelope{Kind: KindOneway, Type: 1, From: 1, To: 2, MsgID: 1}) // blocked
+		a.SleepUntil(10)
+		_ = a.Send(Envelope{Kind: KindOneway, Type: 1, From: 1, To: 2, MsgID: 2}) // after heal
+	})
+	net.At(5, func() { net.SetPartition(nil) })
+	net.Run()
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("deliveries across partition = %v, want [2]", got)
+	}
+	if s := net.Stats(); s.DroppedPartition != 1 {
+		t.Errorf("stats = %+v, want DroppedPartition 1", s)
+	}
+	net.Close()
+}
+
+func TestLoopbackSetLinkOverride(t *testing.T) {
+	net := NewLoopback(Config{Link: LinkConfig{Latency: 1}})
+	net.SetLink(1, 2, LinkConfig{Drop: 1.0, Latency: 1})
+	a := openOrFatal(t, net, 1)
+	b := openOrFatal(t, net, 2)
+	c := openOrFatal(t, net, 3)
+	var gotB, gotC int
+	b.Go(func() {
+		for {
+			if _, ok := b.Recv(); !ok {
+				return
+			}
+			gotB++
+		}
+	})
+	c.Go(func() {
+		for {
+			if _, ok := c.Recv(); !ok {
+				return
+			}
+			gotC++
+		}
+	})
+	a.Go(func() {
+		_ = a.Send(Envelope{Kind: KindOneway, Type: 1, From: 1, To: 2, MsgID: 1})
+		_ = a.Send(Envelope{Kind: KindOneway, Type: 1, From: 1, To: 3, MsgID: 2})
+	})
+	net.Run()
+	if gotB != 0 || gotC != 1 {
+		t.Errorf("link override leaked: b got %d, c got %d", gotB, gotC)
+	}
+	net.Close()
+}
+
+func TestLoopbackRejects(t *testing.T) {
+	net := NewLoopback(Config{})
+	a := openOrFatal(t, net, 1)
+	if _, err := net.Open(1); err == nil {
+		t.Error("duplicate Open accepted")
+	}
+	var sendErr error
+	a.Go(func() {
+		// Links are authenticated: an endpoint cannot send as another node.
+		sendErr = a.Send(Envelope{Kind: KindOneway, Type: 1, From: 9, To: 1, MsgID: 1})
+	})
+	net.Run()
+	if sendErr == nil {
+		t.Error("spoofed From accepted")
+	}
+	net.Close()
+	if _, err := net.Open(2); err == nil {
+		t.Error("Open on closed transport accepted")
+	}
+}
+
+func TestLoopbackUnknownDestination(t *testing.T) {
+	net := NewLoopback(Config{})
+	a := openOrFatal(t, net, 1)
+	a.Go(func() {
+		_ = a.Send(Envelope{Kind: KindOneway, Type: 1, From: 1, To: 99, MsgID: 1})
+	})
+	net.Run()
+	if s := net.Stats(); s.DroppedUnknown != 1 {
+		t.Errorf("stats = %+v, want DroppedUnknown 1", s)
+	}
+	net.Close()
+}
+
+func TestLoopbackCloseWakesParkedReader(t *testing.T) {
+	net := NewLoopback(Config{})
+	a := openOrFatal(t, net, 1)
+	recvClosed := false
+	a.Go(func() {
+		_, ok := a.Recv() // parks forever; Close must wake it
+		recvClosed = !ok
+	})
+	net.Run() // quiescent with a parked in Recv
+	net.Close()
+	if !recvClosed {
+		t.Error("Close did not unblock the parked Recv")
+	}
+	net.Close() // idempotent
+}
+
+func TestLoopbackCloseDrainsUnrunGoroutines(t *testing.T) {
+	// Goroutines spawned but never scheduled: Close must still run them to
+	// completion, with every blocking call observing the closed transport.
+	net := NewLoopback(Config{})
+	a := openOrFatal(t, net, 1)
+	b := openOrFatal(t, net, 2)
+	c := openOrFatal(t, net, 3)
+	recvClosed, awaitClosed, sleptThrough := false, false, false
+	a.Go(func() {
+		_, ok := a.Recv()
+		recvClosed = !ok
+	})
+	w := NewWaiter()
+	b.Go(func() {
+		_, ok := b.Await(w, 1<<40)
+		awaitClosed = !ok
+	})
+	c.Go(func() {
+		c.SleepUntil(1 << 40)
+		sleptThrough = true
+	})
+	net.Close()
+	if !recvClosed {
+		t.Error("Recv did not observe the closed transport")
+	}
+	if !awaitClosed {
+		t.Error("Await did not observe the closed transport")
+	}
+	if !sleptThrough {
+		t.Error("SleepUntil did not release on the closed transport")
+	}
+}
+
+func TestLoopbackControlEventOrder(t *testing.T) {
+	// At the same tick: deliveries first, then control events, then timers.
+	net := NewLoopback(Config{Link: LinkConfig{Latency: 2}})
+	a := openOrFatal(t, net, 1)
+	b := openOrFatal(t, net, 2)
+	var order []string
+	b.Go(func() {
+		if _, ok := b.Recv(); ok {
+			order = append(order, "deliver")
+		}
+	})
+	c := openOrFatal(t, net, 3)
+	c.Go(func() {
+		c.SleepUntil(2)
+		order = append(order, "timer")
+	})
+	net.At(2, func() { order = append(order, "control") })
+	a.Go(func() {
+		_ = a.Send(Envelope{Kind: KindOneway, Type: 1, From: 1, To: 2, MsgID: 1})
+	})
+	net.Run()
+	if len(order) != 3 || order[0] != "deliver" || order[1] != "control" || order[2] != "timer" {
+		t.Errorf("within-tick order = %v, want [deliver control timer]", order)
+	}
+	net.Close()
+}

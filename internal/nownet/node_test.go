@@ -1,0 +1,231 @@
+package nownet
+
+import (
+	"errors"
+	"testing"
+
+	"nowover/internal/ids"
+)
+
+const typEcho byte = 7
+
+// newEchoNode builds a started node whose typEcho handler echoes request
+// payloads back.
+func newEchoNode(t *testing.T, net *LoopbackNet, id ids.NodeID) *Node {
+	t.Helper()
+	n := NewNode(openOrFatal(t, net, id))
+	n.Handle(typEcho, func(n *Node, env Envelope) {
+		_ = n.Respond(env, env.Payload)
+	})
+	n.Start()
+	return n
+}
+
+func TestNodeRequestResponse(t *testing.T) {
+	net := NewLoopback(Config{Link: LinkConfig{Latency: 1}})
+	defer net.Close()
+	server := newEchoNode(t, net, 1)
+	client := NewNode(openOrFatal(t, net, 2))
+	client.Start()
+	var resp Envelope
+	var attempts int
+	var err error
+	client.Go(func() {
+		resp, attempts, err = client.Request(1, typEcho, []byte("ping"), RetryPolicy{})
+	})
+	net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1", attempts)
+	}
+	if string(resp.Payload) != "ping" || resp.Kind != KindResponse || resp.From != 1 {
+		t.Errorf("response = %+v", resp)
+	}
+	cs, ss := client.Stats(), server.Stats()
+	if cs.Requests != 1 || cs.Retries != 0 || cs.Timeouts != 0 || cs.Failed != 0 {
+		t.Errorf("client stats = %+v", cs)
+	}
+	if ss.Responses != 1 {
+		t.Errorf("server stats = %+v", ss)
+	}
+}
+
+func TestNodeRequestTimesOut(t *testing.T) {
+	net := NewLoopback(Config{Link: LinkConfig{Latency: 1}})
+	defer net.Close()
+	client := NewNode(openOrFatal(t, net, 2))
+	client.Start()
+	var attempts int
+	var err error
+	var doneAt int64
+	pol := RetryPolicy{Timeout: 4, Retries: 2, Backoff: 2, Cap: 100}
+	client.Go(func() {
+		_, attempts, err = client.Request(99, typEcho, nil, pol) // no such peer
+		doneAt = client.Endpoint().Now()
+	})
+	net.Run()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (1 + 2 retries)", attempts)
+	}
+	// Windows 4, 8, 16: the request must give up exactly at tick 28.
+	if doneAt != 28 {
+		t.Errorf("gave up at tick %d, want 28 (4+8+16)", doneAt)
+	}
+	cs := client.Stats()
+	if cs.Retries != 2 || cs.Timeouts != 3 || cs.Failed != 1 {
+		t.Errorf("client stats = %+v", cs)
+	}
+}
+
+func TestNodeBackoffCapped(t *testing.T) {
+	net := NewLoopback(Config{Link: LinkConfig{Latency: 1}})
+	defer net.Close()
+	client := NewNode(openOrFatal(t, net, 2))
+	client.Start()
+	var doneAt int64
+	pol := RetryPolicy{Timeout: 4, Retries: 3, Backoff: 4, Cap: 8}
+	client.Go(func() {
+		_, _, _ = client.Request(99, typEcho, nil, pol)
+		doneAt = client.Endpoint().Now()
+	})
+	net.Run()
+	// Windows 4, then 16 capped to 8, 8, 8: give up at 28, not 4+16+64+256.
+	if doneAt != 28 {
+		t.Errorf("gave up at tick %d, want 28 (4+8+8+8 capped)", doneAt)
+	}
+}
+
+func TestNodeRetryRecoversDrop(t *testing.T) {
+	// Drop every envelope on the request link until tick 6: the first
+	// attempt dies, the retransmission gets through, and the receiver sees
+	// the request exactly once (same MsgID both times).
+	net := NewLoopback(Config{Link: LinkConfig{Latency: 1}})
+	defer net.Close()
+	var serverSeen []uint64
+	server := NewNode(openOrFatal(t, net, 1))
+	server.Handle(typEcho, func(n *Node, env Envelope) {
+		serverSeen = append(serverSeen, env.MsgID)
+		_ = n.Respond(env, nil)
+	})
+	server.Start()
+	client := NewNode(openOrFatal(t, net, 2))
+	client.Start()
+	net.SetLink(2, 1, LinkConfig{Latency: 1, Drop: 1.0})
+	net.At(6, func() { net.SetLink(2, 1, LinkConfig{Latency: 1}) })
+	var attempts int
+	var err error
+	client.Go(func() {
+		_, attempts, err = client.Request(1, typEcho, nil, RetryPolicy{Timeout: 4, Retries: 3})
+	})
+	net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts < 2 {
+		t.Errorf("attempts = %d, want >= 2 (first send was dropped)", attempts)
+	}
+	if len(serverSeen) != 1 {
+		t.Errorf("server saw %d requests, want 1", len(serverSeen))
+	}
+	if cs := client.Stats(); cs.Retries == 0 {
+		t.Errorf("client stats = %+v, want retries > 0", cs)
+	}
+}
+
+func TestNodeLateResponseCounted(t *testing.T) {
+	// The server answers after the client's whole retry span: the response
+	// finds no parked waiter and must be counted, not delivered.
+	net := NewLoopback(Config{Link: LinkConfig{Latency: 1}})
+	defer net.Close()
+	server := NewNode(openOrFatal(t, net, 1))
+	server.Handle(typEcho, func(n *Node, env Envelope) {
+		n.Go(func() {
+			n.Endpoint().SleepUntil(50)
+			_ = n.Respond(env, nil)
+		})
+	})
+	server.Start()
+	client := NewNode(openOrFatal(t, net, 2))
+	client.Start()
+	var err error
+	client.Go(func() {
+		_, _, err = client.Request(1, typEcho, nil, RetryPolicy{Timeout: 4, Retries: 1})
+	})
+	net.Run()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// Two handler invocations (original + retransmission) each answer late.
+	if cs := client.Stats(); cs.LateResponses != 2 {
+		t.Errorf("client stats = %+v, want LateResponses 2", cs)
+	}
+}
+
+func TestNodeCastAndUnhandled(t *testing.T) {
+	net := NewLoopback(Config{Link: LinkConfig{Latency: 1}})
+	defer net.Close()
+	var got []byte
+	server := NewNode(openOrFatal(t, net, 1))
+	server.Handle(typEcho, func(_ *Node, env Envelope) {
+		got = append(got, env.Payload...)
+	})
+	server.Start()
+	client := NewNode(openOrFatal(t, net, 2))
+	client.Start()
+	client.Go(func() {
+		_ = client.Cast(1, typEcho, []byte("one"))
+		_ = client.Cast(1, 42, []byte("no handler"))
+	})
+	net.Run()
+	if string(got) != "one" {
+		t.Errorf("handler got %q", got)
+	}
+	if ss := server.Stats(); ss.Unhandled != 1 {
+		t.Errorf("server stats = %+v, want Unhandled 1", ss)
+	}
+	if cs := client.Stats(); cs.Casts != 2 {
+		t.Errorf("client stats = %+v, want Casts 2", cs)
+	}
+}
+
+func TestNodeConcurrentRequests(t *testing.T) {
+	// Two outstanding requests from the same node: responses come back in
+	// reverse order and the inflight map must route each to its own waiter.
+	net := NewLoopback(Config{Link: LinkConfig{Latency: 1}})
+	defer net.Close()
+	server := NewNode(openOrFatal(t, net, 1))
+	server.Handle(typEcho, func(n *Node, env Envelope) {
+		delay := int64(10)
+		if string(env.Payload) == "slow" {
+			delay = 20
+		}
+		n.Go(func() {
+			n.Endpoint().SleepUntil(n.Endpoint().Now() + delay)
+			_ = n.Respond(env, env.Payload)
+		})
+	})
+	server.Start()
+	client := NewNode(openOrFatal(t, net, 2))
+	client.Start()
+	results := make(map[string]string)
+	for _, name := range []string{"slow", "fast"} {
+		name := name
+		client.Go(func() {
+			resp, _, err := client.Request(1, typEcho, []byte(name), RetryPolicy{Timeout: 64})
+			if err != nil {
+				t.Errorf("request %q: %v", name, err)
+				return
+			}
+			results[name] = string(resp.Payload)
+		})
+	}
+	net.Run()
+	if results["slow"] != "slow" || results["fast"] != "fast" {
+		t.Errorf("responses misrouted: %v", results)
+	}
+}

@@ -44,6 +44,15 @@ type Engine struct {
 	messages int64
 	rounds   int
 	closed   bool
+	// poisoned marks an engine whose last Round aborted mid-collection (a
+	// node forged a sender). The inboxes consumed by that round are gone,
+	// so the round structure is broken: further Rounds are refused, but
+	// Close still reclaims the goroutines.
+	poisoned bool
+	// observe, when set, is called for every collected message in the
+	// deterministic collect order (senders sorted, emission order within a
+	// sender). Trace oracles hang off this hook.
+	observe func(round int, m Message)
 }
 
 // worker is one node goroutine plus its rendezvous channels.
@@ -95,6 +104,9 @@ func (e *Engine) Round() error {
 	if e.closed {
 		return fmt.Errorf("runtime: engine closed")
 	}
+	if e.poisoned {
+		return fmt.Errorf("runtime: engine poisoned by an earlier failed round")
+	}
 	round := e.rounds
 	// Fan out.
 	var wg sync.WaitGroup
@@ -115,13 +127,28 @@ func (e *Engine) Round() error {
 		}(id, w)
 	}
 	wg.Wait()
-	// Collect in deterministic order.
+	// Validate every result before touching engine state: an error that
+	// surfaced mid-collection used to leave e.pending half-queued and
+	// e.rounds unincremented, so a caller that continued after the error
+	// ran on a corrupted half-round. Now either the whole round commits or
+	// none of it does — and a failed round poisons the engine (this round's
+	// inboxes were already consumed by the Step calls, so the lockstep
+	// structure cannot be resumed), while Close stays available.
 	for _, id := range e.order {
 		for _, m := range results[id] {
 			if m.From != id {
+				e.poisoned = true
 				return fmt.Errorf("runtime: node %v forged sender %v", id, m.From)
 			}
+		}
+	}
+	// Collect in deterministic order.
+	for _, id := range e.order {
+		for _, m := range results[id] {
 			e.messages++
+			if e.observe != nil {
+				e.observe(round, m)
+			}
 			if _, ok := e.workers[m.To]; ok {
 				e.pending[m.To] = append(e.pending[m.To], m)
 			}
@@ -130,6 +157,13 @@ func (e *Engine) Round() error {
 	e.rounds++
 	return nil
 }
+
+// Observe registers fn to be called once per collected message, in the
+// deterministic collect order (sorted senders, emission order within each
+// sender), with the round the message was emitted in. The sim-vs-runtime
+// equivalence suite records the lockstep trace through this hook. Must be
+// set before the first Round; a nil fn clears it.
+func (e *Engine) Observe(fn func(round int, m Message)) { e.observe = fn }
 
 // RunRounds executes n rounds.
 func (e *Engine) RunRounds(n int) error {
@@ -165,14 +199,21 @@ func (e *Engine) Close() {
 // inbox: it returns the payload that more than half of the members of the
 // sending cluster delivered identically, if any. senders is the expected
 // membership of the sending cluster.
+//
+// Each expected sender contributes at most ONE vote — the first message it
+// delivered, matching the paper's delivery rule. Counting raw messages
+// would let a single Byzantine member repeat a payload k times and push it
+// past the strict-majority threshold on its own.
 func MajorityPayload(inbox []Message, senders []ids.NodeID) (any, bool) {
 	expected := make(map[ids.NodeID]bool, len(senders))
 	for _, s := range senders {
 		expected[s] = true
 	}
 	counts := make(map[any]int)
+	voted := make(map[ids.NodeID]bool, len(senders))
 	for _, m := range inbox {
-		if expected[m.From] {
+		if expected[m.From] && !voted[m.From] {
+			voted[m.From] = true
 			counts[m.Payload]++
 		}
 	}

@@ -1,0 +1,122 @@
+package runtime
+
+import (
+	"testing"
+
+	"nowover/internal/ids"
+)
+
+// Regression: MajorityPayload used to count messages instead of senders,
+// so a single equivocator could repeat a payload past the strict-majority
+// threshold on its own.
+func TestMajorityPayloadEquivocatorCannotForge(t *testing.T) {
+	senders := []ids.NodeID{1, 2, 3, 4, 5}
+	inbox := []Message{
+		// One Byzantine member repeats the forged payload four times: under
+		// message counting 4 > 5/2 would have accepted it.
+		{From: 3, To: 9, Payload: "forged"},
+		{From: 3, To: 9, Payload: "forged"},
+		{From: 3, To: 9, Payload: "forged"},
+		{From: 3, To: 9, Payload: "forged"},
+		{From: 1, To: 9, Payload: "real"},
+		{From: 2, To: 9, Payload: "real"},
+	}
+	if got, ok := MajorityPayload(inbox, senders); ok {
+		t.Fatalf("equivocator forged a majority: accepted %v", got)
+	}
+}
+
+func TestMajorityPayloadFirstMessageWins(t *testing.T) {
+	senders := []ids.NodeID{1, 2, 3}
+	inbox := []Message{
+		{From: 1, To: 9, Payload: "v"},
+		{From: 2, To: 9, Payload: "v"},
+		// Sender 2 equivocates after its first delivery; the duplicate must
+		// not count as a second vote for either payload.
+		{From: 2, To: 9, Payload: "w"},
+		{From: 3, To: 9, Payload: "w"},
+	}
+	got, ok := MajorityPayload(inbox, senders)
+	if !ok || got != "v" {
+		t.Fatalf("majority = %v,%v, want v (first message per sender)", got, ok)
+	}
+}
+
+// Regression: a forged-sender error used to surface mid-collection,
+// leaving e.pending half-queued and e.rounds unincremented. A failed Round
+// must commit nothing, refuse further rounds, and leave Close working.
+func TestEngineFailedRoundPoisons(t *testing.T) {
+	a, b, c := ids.NodeID(1), ids.NodeID(2), ids.NodeID(3)
+	// Node a (first in sorted order) emits honestly; node b forges. Under
+	// the old mid-collection error, a's messages were already queued.
+	honest := &echoProc{self: a, peer: c}
+	forger := processFunc(func(round int, _ []Message) []Message {
+		return []Message{{From: c, To: c, Round: round, Payload: "forged"}}
+	})
+	sink := &echoProc{self: c, peer: a}
+	e := NewEngine(map[ids.NodeID]Process{a: honest, b: forger, c: sink})
+	defer e.Close()
+	if err := e.Round(); err == nil {
+		t.Fatal("forged sender accepted")
+	}
+	if e.Rounds() != 0 {
+		t.Errorf("failed round incremented counter to %d", e.Rounds())
+	}
+	if e.Messages() != 0 {
+		t.Errorf("failed round counted %d messages", e.Messages())
+	}
+	if len(e.pending) != 0 {
+		t.Errorf("failed round left %d pending inboxes queued", len(e.pending))
+	}
+	if err := e.Round(); err == nil {
+		t.Error("poisoned engine accepted another round")
+	}
+}
+
+func TestEngineCloseAfterFailedRound(t *testing.T) {
+	a, b := ids.NodeID(1), ids.NodeID(2)
+	forger := processFunc(func(round int, _ []Message) []Message {
+		return []Message{{From: b, To: b, Round: round, Payload: "forged"}}
+	})
+	e := NewEngine(map[ids.NodeID]Process{a: forger, b: processFunc(nopStep)})
+	if err := e.Round(); err == nil {
+		t.Fatal("forged sender accepted")
+	}
+	// Close must still reclaim the node goroutines (it blocks on their done
+	// channels, so a leak would deadlock the test) and stay idempotent.
+	e.Close()
+	e.Close()
+	if err := e.Round(); err == nil {
+		t.Error("closed engine accepted a round")
+	}
+}
+
+func TestEngineObserveSeesCollectOrder(t *testing.T) {
+	a, b := ids.NodeID(2), ids.NodeID(7)
+	pa := &echoProc{self: a, peer: b}
+	pb := &echoProc{self: b, peer: a}
+	e := NewEngine(map[ids.NodeID]Process{a: pa, b: pb})
+	defer e.Close()
+	var seen []Message
+	var rounds []int
+	e.Observe(func(round int, m Message) {
+		seen = append(seen, m)
+		rounds = append(rounds, round)
+	})
+	if err := e.RunRounds(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("observed %d messages, want 4", len(seen))
+	}
+	// Collect order is sorted senders within each round.
+	want := []ids.NodeID{a, b, a, b}
+	for i, m := range seen {
+		if m.From != want[i] {
+			t.Errorf("observation %d from %v, want %v", i, m.From, want[i])
+		}
+	}
+	if rounds[0] != 0 || rounds[3] != 1 {
+		t.Errorf("observed rounds %v", rounds)
+	}
+}

@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"fmt"
+
 	"nowover/internal/ids"
 )
 
@@ -32,9 +34,20 @@ type RelayNode struct {
 	origin *token
 }
 
-// NewRelayNode builds an honest relay participant.
-func NewRelayNode(self ids.NodeID, chain [][]ids.NodeID, level int, origin *token) *RelayNode {
-	return &RelayNode{self: self, chain: chain, level: level, origin: origin}
+// NewRelayNode builds an honest relay participant. origin is the token a
+// level-0 node originates (build one with NewToken); nil for every other
+// node. The parameter is any because the token type is unexported; a
+// non-nil non-token origin panics.
+func NewRelayNode(self ids.NodeID, chain [][]ids.NodeID, level int, origin any) *RelayNode {
+	n := &RelayNode{self: self, chain: chain, level: level}
+	if origin != nil {
+		tk, ok := origin.(token)
+		if !ok {
+			panic(fmt.Sprintf("runtime: relay origin must come from NewToken, got %T", origin))
+		}
+		n.origin = &tk
+	}
+	return n
 }
 
 // Accepted returns the token this node accepted.
@@ -77,9 +90,14 @@ type ForgingRelayNode struct {
 	forge token
 }
 
-// NewForgingRelayNode builds the attacker.
-func NewForgingRelayNode(self ids.NodeID, chain [][]ids.NodeID, level int, forge token) *ForgingRelayNode {
-	return &ForgingRelayNode{self: self, chain: chain, level: level, forge: forge}
+// NewForgingRelayNode builds the attacker. forge is the substituted token,
+// built with NewToken; anything else panics.
+func NewForgingRelayNode(self ids.NodeID, chain [][]ids.NodeID, level int, forge any) *ForgingRelayNode {
+	tk, ok := forge.(token)
+	if !ok {
+		panic(fmt.Sprintf("runtime: forged token must come from NewToken, got %T", forge))
+	}
+	return &ForgingRelayNode{self: self, chain: chain, level: level, forge: tk}
 }
 
 // Step implements Process.

@@ -317,9 +317,9 @@ func buildChain(t *testing.T, levels, size int, byzAt map[int]int) (map[ids.Node
 				procs[id] = NewForgingRelayNode(id, chain, l, forged)
 				continue
 			}
-			var origin *token
+			var origin any
 			if l == 0 {
-				origin = &tok
+				origin = tok
 			}
 			node := NewRelayNode(id, chain, l, origin)
 			procs[id] = node

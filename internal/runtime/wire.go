@@ -1,0 +1,97 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire codec for the protocol payloads the lockstep engine passes as Go
+// values. The nownet transport carries payloads as bytes, so every payload
+// type gets a tag and a fixed big-endian layout; encoding then decoding
+// reproduces the value exactly (payloads are comparable, so the round-trip
+// is testable with ==). The codec is deliberately closed: an unknown tag
+// or a short body is an error, never a zero value, because a Byzantine
+// peer owns every byte of an incoming frame.
+
+// Payload tags. Tag 0 is reserved as invalid.
+const (
+	tagCommit byte = 1 + iota
+	tagReveal
+	tagVote
+	tagPKValue
+	tagToken
+)
+
+// EncodePayload serializes a protocol payload to its wire tag and body.
+func EncodePayload(p any) (tag byte, body []byte, err error) {
+	switch v := p.(type) {
+	case commitMsg:
+		return tagCommit, be64(v.Tag), nil
+	case revealMsg:
+		body = append(be64(v.Tag), be64(uint64(v.Share))...)
+		return tagReveal, body, nil
+	case voteMsg:
+		return tagVote, be64(v.Mask), nil
+	case pkValue:
+		body = append([]byte{byte(v.Kind)}, be64(uint64(v.Value))...)
+		return tagPKValue, body, nil
+	case token:
+		body = append(be64(v.WalkID), be64(uint64(v.Remaining))...)
+		return tagToken, body, nil
+	}
+	return 0, nil, fmt.Errorf("runtime: no wire encoding for payload type %T", p)
+}
+
+// DecodePayload reverses EncodePayload.
+func DecodePayload(tag byte, body []byte) (any, error) {
+	switch tag {
+	case tagCommit:
+		if len(body) != 8 {
+			return nil, fmt.Errorf("runtime: commit body has %d bytes, want 8", len(body))
+		}
+		return commitMsg{Tag: binary.BigEndian.Uint64(body)}, nil
+	case tagReveal:
+		if len(body) != 16 {
+			return nil, fmt.Errorf("runtime: reveal body has %d bytes, want 16", len(body))
+		}
+		return revealMsg{
+			Tag:   binary.BigEndian.Uint64(body),
+			Share: int64(binary.BigEndian.Uint64(body[8:])),
+		}, nil
+	case tagVote:
+		if len(body) != 8 {
+			return nil, fmt.Errorf("runtime: vote body has %d bytes, want 8", len(body))
+		}
+		return voteMsg{Mask: binary.BigEndian.Uint64(body)}, nil
+	case tagPKValue:
+		if len(body) != 9 {
+			return nil, fmt.Errorf("runtime: pkValue body has %d bytes, want 9", len(body))
+		}
+		k := pkKind(body[0])
+		if k != pkBroadcast && k != pkKingSay {
+			return nil, fmt.Errorf("runtime: unknown pkValue kind %d", body[0])
+		}
+		return pkValue{Kind: k, Value: int64(binary.BigEndian.Uint64(body[1:]))}, nil
+	case tagToken:
+		if len(body) != 16 {
+			return nil, fmt.Errorf("runtime: token body has %d bytes, want 16", len(body))
+		}
+		return token{
+			WalkID:    binary.BigEndian.Uint64(body),
+			Remaining: int64(binary.BigEndian.Uint64(body[8:])),
+		}, nil
+	}
+	return nil, fmt.Errorf("runtime: unknown payload tag %d", tag)
+}
+
+func be64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// NewToken builds a relay walk token; the nownet port and the demo driver
+// originate tokens through this constructor since the type is unexported.
+func NewToken(walkID uint64, remaining int64) any {
+	return token{WalkID: walkID, Remaining: remaining}
+}

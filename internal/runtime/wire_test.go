@@ -1,0 +1,56 @@
+package runtime
+
+import (
+	"testing"
+)
+
+func TestPayloadRoundTrip(t *testing.T) {
+	payloads := []any{
+		commitMsg{Tag: 0},
+		commitMsg{Tag: ^uint64(0)},
+		revealMsg{Tag: 12345, Share: -7},
+		revealMsg{Tag: 1, Share: 1<<62 + 3},
+		voteMsg{Mask: 0b1011},
+		pkValue{Kind: pkBroadcast, Value: 1},
+		pkValue{Kind: pkKingSay, Value: -1},
+		token{WalkID: 77, Remaining: 1000},
+		NewToken(666, 0),
+	}
+	for _, p := range payloads {
+		tag, body, err := EncodePayload(p)
+		if err != nil {
+			t.Fatalf("encode %#v: %v", p, err)
+		}
+		got, err := DecodePayload(tag, body)
+		if err != nil {
+			t.Fatalf("decode %#v: %v", p, err)
+		}
+		// Payloads are comparable by contract (majority-accept relies on ==).
+		if got != p {
+			t.Errorf("round trip %#v -> %#v", p, got)
+		}
+	}
+}
+
+func TestPayloadCodecRejects(t *testing.T) {
+	if _, _, err := EncodePayload("not a protocol payload"); err == nil {
+		t.Error("encoded an unknown payload type")
+	}
+	if _, err := DecodePayload(0, nil); err == nil {
+		t.Error("decoded the reserved zero tag")
+	}
+	if _, err := DecodePayload(99, []byte{1, 2, 3}); err == nil {
+		t.Error("decoded an unknown tag")
+	}
+	// Every tag rejects a short body rather than zero-filling.
+	for tag := tagCommit; tag <= tagToken; tag++ {
+		if _, err := DecodePayload(tag, []byte{1, 2}); err == nil {
+			t.Errorf("tag %d decoded a short body", tag)
+		}
+	}
+	// pkValue kinds are a closed set.
+	bad := append([]byte{250}, be64(1)...)
+	if _, err := DecodePayload(tagPKValue, bad); err == nil {
+		t.Error("decoded a pkValue with an unknown kind")
+	}
+}

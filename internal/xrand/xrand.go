@@ -37,6 +37,22 @@ func (r *Rand) Split(label uint64) *Rand {
 	return &Rand{src: rand.New(rand.NewPCG(mix(a, label), mix(b, ^label)))}
 }
 
+// Derive returns a stream that is a pure function of base and the labels:
+// unlike Split it consumes no state from any parent stream, so callers may
+// derive substreams lazily and in any order without perturbing each other.
+// The loopback transport keys one fault stream per directed link this way
+// ((from, to) labels), making drop and jitter draws independent of the
+// order links first carry traffic.
+func Derive(base uint64, labels ...uint64) *Rand {
+	a := mix(base, 0x6e6f776e65740001)
+	b := mix(^base, 0x6e6f776e65740002)
+	for _, l := range labels {
+		a = mix(a, l)
+		b = mix(b, ^l)
+	}
+	return &Rand{src: rand.New(rand.NewPCG(a, b))}
+}
+
 // SplitInto reseeds dst in place to the exact substream Split(label) would
 // have returned, consuming the same two state words from r. A zero-value
 // dst is initialized on first use; afterwards reseeding allocates nothing,
