@@ -126,7 +126,22 @@ var _ Strategy = (*JoinLeaveAttack)(nil)
 // Name implements Strategy.
 func (s *JoinLeaveAttack) Name() string { return "join-leave-attack" }
 
-// Target returns the currently attacked cluster.
+// TargetProvider is the two-sided target contract the world's hook
+// lifecycle consumes. Target is the COMMIT-scoped side: called serially
+// (by Decide at step boundaries, by CapturedHijacker.BeginBatch before a
+// batch plans), it may mutate the strategy — re-validate the fixation,
+// ratchet onto a new beachhead. PlanTarget is the PLAN-scoped side: a
+// pure read of the cached fixation that concurrent plan workers may call
+// while an op batch is in flight. Keeping the mutation on the serial side
+// is what lets hooked worlds plan in parallel deterministically.
+type TargetProvider interface {
+	Target(v View) ids.ClusterID
+	PlanTarget() (ids.ClusterID, bool)
+}
+
+// Target returns the currently attacked cluster, re-fixating if the
+// cached target dissolved. Commit-scoped: must not be called while a
+// batch is planning (see TargetProvider).
 func (s *JoinLeaveAttack) Target(v View) ids.ClusterID {
 	if s.hasTgt {
 		// Re-validate: the target may have merged away.
@@ -151,6 +166,13 @@ func (s *JoinLeaveAttack) Target(v View) ids.ClusterID {
 	s.target, s.hasTgt = best, true
 	return best
 }
+
+// PlanTarget returns the cached fixation without validating or mutating
+// it: the pure plan-scoped read of TargetProvider. The target may have
+// dissolved since the last commit-scoped Target call; readers that care
+// (CapturedHijacker.Redirect) check liveness against their view and treat
+// a dead target as a miss.
+func (s *JoinLeaveAttack) PlanTarget() (ids.ClusterID, bool) { return s.target, s.hasTgt }
 
 // Decide implements Strategy.
 func (s *JoinLeaveAttack) Decide(v View, r *xrand.Rand, dir Direction) Op {
@@ -201,6 +223,13 @@ var _ Strategy = (*DOSAttack)(nil)
 // Name implements Strategy.
 func (s *DOSAttack) Name() string { return "dos-attack" }
 
+// PlanTarget exposes the embedded join-leave ratchet's cached fixation
+// (pure, plan-scoped). DOSAttack deliberately does NOT implement the
+// commit-scoped Target side of TargetProvider: its per-target state is
+// ratcheted exclusively through Decide, which the drivers call serially
+// at step boundaries, so there is nothing for a batch commit to fold.
+func (s *DOSAttack) PlanTarget() (ids.ClusterID, bool) { return s.attack.PlanTarget() }
+
 // Decide implements Strategy.
 func (s *DOSAttack) Decide(v View, r *xrand.Rand, dir Direction) Op {
 	s.attack.Budget = s.Budget
@@ -230,14 +259,82 @@ func (s *DOSAttack) Decide(v View, r *xrand.Rand, dir Direction) Op {
 
 // CapturedHijacker is the walk-redirection hook the adversary installs:
 // any walk transiting a captured cluster is steered to the attack target.
+//
+// The hook is snapshot-scoped so hooked worlds can plan op batches in
+// parallel: Redirect and Score are pure reads of the strategy's cached
+// fixation (PlanTarget) validated against the view, safe to call from
+// concurrent plan workers; all mutation happens on the serial lifecycle —
+// BeginBatch re-fixates the target against the pre-batch world through
+// the strategy's commit-scoped Target, and CommitOp folds the hook's
+// ratchet counters in op order after the batch applies. Under the classic
+// one-op-per-step drivers the same split holds with the strategy's Decide
+// call playing BeginBatch's refresh role.
 type CapturedHijacker struct {
-	TargetFn func() (ids.ClusterID, bool)
+	// View is the adversary's full-information world view (core.World).
+	View View
+	// Strategy supplies the target fixation (e.g. *JoinLeaveAttack).
+	Strategy TargetProvider
+
+	// Hijacked counts walks this hook redirected, folded deterministically
+	// by CommitOp from the scheduler's per-op hijack tallies (Redirect
+	// itself runs concurrently and must not count).
+	Hijacked int64
+	// CommittedOps counts operations folded through CommitOp.
+	CommittedOps int64
 }
 
-// Redirect implements walk.Hijacker.
-func (h CapturedHijacker) Redirect(ids.ClusterID) (ids.ClusterID, bool) {
-	if h.TargetFn == nil {
+// Redirect implements walk.Hijacker: a pure read of the cached fixation.
+// Misses (ok=false) when no strategy is wired, when nothing has fixated
+// yet, or when the cached target has dissolved since the last
+// commit-scoped refresh — a mid-walk re-fixation here would mutate shared
+// state under concurrent planning.
+func (h *CapturedHijacker) Redirect(_ *xrand.Rand, _ ids.ClusterID) (ids.ClusterID, bool) {
+	if h.Strategy == nil {
 		return 0, false
 	}
-	return h.TargetFn()
+	tgt, ok := h.Strategy.PlanTarget()
+	if !ok {
+		return 0, false
+	}
+	if h.View != nil && h.View.Size(tgt) == 0 {
+		return 0, false
+	}
+	return tgt, true
+}
+
+// Score implements the steer hook (core.Steerer): the cached target
+// scores 1, everything else 0. Pure, like Redirect.
+func (h *CapturedHijacker) Score(c ids.ClusterID) float64 {
+	if h.Strategy == nil {
+		return 0
+	}
+	if tgt, ok := h.Strategy.PlanTarget(); ok && c == tgt {
+		return 1
+	}
+	return 0
+}
+
+// BeginBatch implements the serial half of core.BatchHook: re-fixate the
+// strategy's target against the pre-batch world so every plan-phase
+// Redirect/Score of the coming batch reads one coherent snapshot
+// decision. The refresh is skipped while the cached target is still live
+// — the ratchet holds, and the steady-state hooked plan path stays
+// allocation-free.
+func (h *CapturedHijacker) BeginBatch() {
+	if h.Strategy == nil || h.View == nil {
+		return
+	}
+	if tgt, ok := h.Strategy.PlanTarget(); ok && h.View.Size(tgt) > 0 {
+		return
+	}
+	h.Strategy.Target(h.View)
+}
+
+// CommitOp implements the op-ordered commit half of core.BatchHook,
+// folding the scheduler's per-op hijack tally into the hook's ratchet
+// counters. Called serially in op order after the batch's effects are in
+// place, alongside the scheduler's own order-sensitive bookkeeping.
+func (h *CapturedHijacker) CommitOp(_ int, _ bool, hijacked int64) {
+	h.CommittedOps++
+	h.Hijacked += hijacked
 }

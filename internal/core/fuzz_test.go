@@ -1,7 +1,14 @@
 package core
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
+
+	"nowover/internal/adversary"
 )
 
 // FuzzWorldOps feeds fuzzer-chosen operation scripts through FOUR worlds:
@@ -164,4 +171,224 @@ func FuzzWorldOps(f *testing.F) {
 		}
 		flush()
 	})
+}
+
+// FuzzHookedWorldOps is the hooked sibling of FuzzWorldOps: the same
+// script encoding drives a serial (Shards=1) and a sharded (Shards=8)
+// world that each carry a live JoinLeaveAttack fixation through a
+// CapturedHijacker registered as BOTH walk hijacker and steer hook — the
+// configuration that used to force the one-worker planning fallback. The
+// pair must stay in bit-identical protocol state after every batch, and
+// the hooks' commit-folded bookkeeping (hijacked-walk tallies, committed
+// op counts) must agree exactly, script after script. The bootstrap
+// concentrates corruption in the low slots so captured clusters exist
+// from the start and the fixation has something to bite on; seed bit 0
+// selects the cascade mode so the corpus covers grouped and per-receiver
+// tails. The two checked-in seeds (seed-tail-hijack-*) are verified by
+// TestHookedFuzzSeedsExerciseTailHijack to drive hijacked walks through
+// ops that land on the scheduler's serial tail — the replay path where
+// hook purity is easiest to get wrong.
+func FuzzHookedWorldOps(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 0, 4, 2, 1, 4})
+	f.Add(uint64(7), []byte{0, 2, 0, 3, 5, 4, 2, 2, 2, 3, 4})
+	f.Add(uint64(42), []byte{2, 9, 2, 17, 2, 33, 4, 0, 0, 0, 0, 4, 5, 8, 4})
+	f.Fuzz(func(t *testing.T, seed uint64, script []byte) {
+		runHookedScript(t, seed, script)
+	})
+}
+
+// hookedScriptResult summarizes one hooked-script replay for the corpus
+// verification test: whether any op both deferred to the serial tail AND
+// hijacked at least one walk there.
+type hookedScriptResult struct {
+	tailHijacks int64
+	hijacked    int64
+}
+
+func runHookedScript(t *testing.T, seed uint64, script []byte) hookedScriptResult {
+	if len(script) > 128 {
+		script = script[:128]
+	}
+	grouped := seed&1 == 1
+	mk := func(shards int) (*World, *adversary.CapturedHijacker) {
+		cfg := DefaultConfig(256)
+		cfg.Seed = seed
+		cfg.Shards = shards
+		cfg.GroupedCascade = grouped
+		w, err := NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Concentrated corruption: the low slots are all Byzantine, so the
+		// bootstrap yields captured clusters for the attack to fixate on.
+		if err := w.Bootstrap(96, func(slot int) bool { return slot < 24 }); err != nil {
+			t.Fatal(err)
+		}
+		h := &adversary.CapturedHijacker{
+			View:     w,
+			Strategy: &adversary.JoinLeaveAttack{Budget: adversary.Budget{Tau: 0.25}},
+		}
+		w.SetHijacker(h)
+		w.SetSteerHook(h)
+		return w, h
+	}
+	w1, h1 := mk(1)
+	w8, h8 := mk(8)
+	minPop := 2 * w1.Config().TargetClusterSize()
+	var out hookedScriptResult
+
+	var pending []Op
+	victims := make(map[uint64]bool)
+	next := func(i *int) byte {
+		if *i >= len(script) {
+			return 0
+		}
+		b := script[*i]
+		*i++
+		return b
+	}
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		r1 := w1.ExecBatch(pending)
+		r8 := w8.ExecBatch(pending)
+		for j := range r1 {
+			if r1[j].Err != nil && !IsUnknownNode(r1[j].Err) && !IsUnknownCluster(r1[j].Err) {
+				t.Fatalf("serial op %d: %v", j, r1[j].Err)
+			}
+			if (r1[j].Err == nil) != (r8[j].Err == nil) || r1[j].Node != r8[j].Node || r1[j].Deferred != r8[j].Deferred {
+				t.Fatalf("op %d diverged: serial=%+v sharded=%+v", j, r1[j], r8[j])
+			}
+			// w1.sched.hijacked holds the per-op tallies the commit step just
+			// folded; a deferred op with a nonzero tally is a tail hijack.
+			if r1[j].Deferred && w1.sched.hijacked[j] > 0 {
+				out.tailHijacks += w1.sched.hijacked[j]
+			}
+		}
+		if err := CheckInvariants(w1); err != nil {
+			t.Fatalf("serial invariants: %v", err)
+		}
+		if err := CheckInvariants(w8); err != nil {
+			t.Fatalf("sharded invariants: %v", err)
+		}
+		if a, b := worldFingerprint(w1), worldFingerprint(w8); a != b {
+			t.Fatalf("states diverged:\n--- serial ---\n%s\n--- sharded ---\n%s", a, b)
+		}
+		if h1.Hijacked != h8.Hijacked || h1.CommittedOps != h8.CommittedOps {
+			t.Fatalf("hook bookkeeping diverged: hijacked %d/%d ops %d/%d",
+				h1.Hijacked, h8.Hijacked, h1.CommittedOps, h8.CommittedOps)
+		}
+		pending = pending[:0]
+		victims = make(map[uint64]bool)
+	}
+
+	projN := w1.NumNodes()
+	for i := 0; i < len(script); {
+		b := next(&i)
+		switch b % 6 {
+		case 0, 1:
+			if projN >= w1.Config().N-1 || len(pending) >= 8 {
+				continue
+			}
+			pending = append(pending, Op{Kind: OpJoin, Byz: b&0x40 != 0})
+			projN++
+		case 2:
+			if projN <= minPop || len(pending) >= 8 || w1.NumNodes() == 0 {
+				continue
+			}
+			idx := int(next(&i)) % w1.NumNodes()
+			x := w1.allNodes[idx]
+			if victims[uint64(x)] {
+				continue
+			}
+			victims[uint64(x)] = true
+			pending = append(pending, Op{Kind: OpLeave, Victim: x})
+			projN--
+		case 3:
+			cs := w1.Clusters()
+			if len(cs) == 0 || len(pending) >= 8 {
+				continue
+			}
+			c := cs[int(next(&i))%len(cs)]
+			pending = append(pending, Op{Kind: OpExchange, Target: c})
+		case 4:
+			flush()
+		case 5:
+			flush() // classic ops require a quiescent batch queue
+			if w1.NumNodes() == 0 {
+				continue
+			}
+			idx := int(next(&i)) % w1.NumNodes()
+			x := w1.allNodes[idx]
+			if !w1.Contains(x) {
+				continue
+			}
+			corrupted := !w1.IsByzantine(x)
+			if corrupted && 3*(w1.NumByzantine()+1) > w1.NumNodes() {
+				continue
+			}
+			if err := w1.SetCorrupted(x, corrupted); err != nil {
+				t.Fatal(err)
+			}
+			if err := w8.SetCorrupted(x, corrupted); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	flush()
+	out.hijacked = h1.Hijacked
+	return out
+}
+
+// readHookedCorpusSeed parses a checked-in Go fuzz corpus file for
+// FuzzHookedWorldOps (format: "go test fuzz v1", then one line per
+// argument in Go literal syntax).
+func readHookedCorpusSeed(t *testing.T, name string) (uint64, []byte) {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "fuzz", "FuzzHookedWorldOps", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 3 || lines[0] != "go test fuzz v1" {
+		t.Fatalf("%s: unexpected corpus layout: %q", name, lines)
+	}
+	var seed uint64
+	if _, err := fmt.Sscanf(lines[1], "uint64(%d)", &seed); err != nil {
+		t.Fatalf("%s: bad seed line %q: %v", name, lines[1], err)
+	}
+	quoted := strings.TrimSuffix(strings.TrimPrefix(lines[2], "[]byte("), ")")
+	script, err := strconv.Unquote(quoted)
+	if err != nil {
+		t.Fatalf("%s: bad script line %q: %v", name, lines[2], err)
+	}
+	return seed, []byte(script)
+}
+
+// TestHookedFuzzSeedsExerciseTailHijack pins the reason the two
+// seed-tail-hijack-* corpus entries are checked in: each must drive at
+// least one op that BOTH falls to the scheduler's serial tail AND
+// hijacks walks while replaying there — one per cascade mode. If a
+// scheduler change stops these scripts from reaching the hooked tail,
+// the corpus has silently lost its coverage and new seeds must be hunted
+// (see the FuzzHookedWorldOps comment).
+func TestHookedFuzzSeedsExerciseTailHijack(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		grouped bool
+	}{
+		{"seed-tail-hijack-per-receiver", false},
+		{"seed-tail-hijack-grouped", true},
+	} {
+		seed, script := readHookedCorpusSeed(t, tc.name)
+		if got := seed&1 == 1; got != tc.grouped {
+			t.Errorf("%s: seed %d selects grouped=%v, want %v", tc.name, seed, got, tc.grouped)
+		}
+		res := runHookedScript(t, seed, script)
+		if res.tailHijacks == 0 {
+			t.Errorf("%s: no hijacked walk ever landed on the serial tail (hijacked=%d total)",
+				tc.name, res.hijacked)
+		}
+	}
 }

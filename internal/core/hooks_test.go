@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"nowover/internal/adversary"
+	"nowover/internal/xrand"
+)
+
+// newHookedWorld wires the full adversary stack onto a test world: a
+// JoinLeaveAttack fixation feeding a CapturedHijacker that both redirects
+// walks (SetHijacker) and steers randCl scoring (SetSteerHook) — one hook
+// object, both roles, one batch lifecycle.
+func newHookedWorld(t testing.TB, shards int, seed uint64) (*World, *adversary.CapturedHijacker) {
+	t.Helper()
+	w := newTestWorld(t, shards, seed)
+	h := &adversary.CapturedHijacker{
+		View:     w,
+		Strategy: &adversary.JoinLeaveAttack{Budget: adversary.Budget{Tau: 0.25}},
+	}
+	w.SetHijacker(h)
+	w.SetSteerHook(h)
+	return w, h
+}
+
+// TestHookedShardedMatchesSerial is the tentpole's determinism regression:
+// a world with a hijacker redirecting walks AND a steer hook biasing
+// randCl draws — the configuration the old scheduler forced onto the
+// one-worker fallback — must now plan at full parallelism and still be
+// byte-identical between Shards=1 and Shards=8, at any GOMAXPROCS. The
+// contract that makes this possible: plan-phase Redirect/Score are pure
+// reads of the pre-batch fixation, and all hook bookkeeping (capture
+// tallies, ratchet refreshes) happens in BeginBatch/CommitOp, which the
+// scheduler drives serially in op order.
+func TestHookedShardedMatchesSerial(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+
+			serial, hs := newHookedWorld(t, 1, 42)
+			sharded, h8 := newHookedWorld(t, 8, 42)
+			if fp1, fp8 := worldFingerprint(serial), worldFingerprint(sharded); fp1 != fp8 {
+				t.Fatalf("bootstrap fingerprints differ:\n%s\nvs\n%s", fp1, fp8)
+			}
+			rs := xrand.New(7)
+			r8 := xrand.New(7)
+			batches := 25
+			if testing.Short() {
+				batches = 8
+			}
+			deferred := false
+			for i := 0; i < batches; i++ {
+				b1 := randomBatch(serial, rs, 8)
+				b8 := randomBatch(sharded, r8, 8)
+				res1 := serial.ExecBatch(b1)
+				res8 := sharded.ExecBatch(b8)
+				for j := range res1 {
+					e1, e8 := fmt.Sprint(res1[j].Err), fmt.Sprint(res8[j].Err)
+					if res1[j].Node != res8[j].Node || e1 != e8 || res1[j].Deferred != res8[j].Deferred {
+						t.Fatalf("batch %d op %d diverged: serial=%+v sharded=%+v", i, j, res1[j], res8[j])
+					}
+					deferred = deferred || res1[j].Deferred
+				}
+				if fp1, fp8 := worldFingerprint(serial), worldFingerprint(sharded); fp1 != fp8 {
+					t.Fatalf("state diverged after batch %d:\n--- serial ---\n%s\n--- sharded ---\n%s", i, fp1, fp8)
+				}
+				if hs.Hijacked != h8.Hijacked || hs.CommittedOps != h8.CommittedOps {
+					t.Fatalf("hook bookkeeping diverged after batch %d: hijacked %d/%d ops %d/%d",
+						i, hs.Hijacked, h8.Hijacked, hs.CommittedOps, h8.CommittedOps)
+				}
+				if err := CheckInvariants(serial); err != nil {
+					t.Fatalf("serial invariants after batch %d: %v", i, err)
+				}
+				if err := CheckInvariants(sharded); err != nil {
+					t.Fatalf("sharded invariants after batch %d: %v", i, err)
+				}
+			}
+			if serial.Stats() != sharded.Stats() {
+				t.Fatalf("final stats diverged:\n%+v\nvs\n%+v", serial.Stats(), sharded.Stats())
+			}
+			if serial.Stats().HijackedWalks == 0 {
+				t.Fatal("hooked run hijacked no walks: the redirect path never ran")
+			}
+			if hs.Hijacked != serial.Stats().HijackedWalks {
+				t.Fatalf("commit fold lost walks: hook saw %d, world recorded %d",
+					hs.Hijacked, serial.Stats().HijackedWalks)
+			}
+			if !deferred {
+				t.Fatal("no op ever deferred: the hooked serial-tail path never ran")
+			}
+		})
+	}
+}
+
+// TestHookedRepeatableAcrossRuns guards the hook lifecycle against
+// map-iteration or scheduling order leaking into results (the hooked
+// sibling of TestBatchRepeatableAcrossRuns).
+func TestHookedRepeatableAcrossRuns(t *testing.T) {
+	run := func() (string, int64, int64) {
+		w, h := newHookedWorld(t, 8, 1234)
+		r := xrand.New(5)
+		for i := 0; i < 10; i++ {
+			w.ExecBatch(randomBatch(w, r, 6))
+		}
+		return worldFingerprint(w), h.Hijacked, h.CommittedOps
+	}
+	fa, hija, opsa := run()
+	fb, hijb, opsb := run()
+	if fa != fb || hija != hijb || opsa != opsb {
+		t.Fatalf("repeat hooked runs diverged: hijacked %d/%d ops %d/%d\n%s\nvs\n%s",
+			hija, hijb, opsa, opsb, fa, fb)
+	}
+}
+
+// TestHookLifecycleDedup: one object registered as both hijacker and
+// steerer must see exactly one BeginBatch/CommitOp stream, and replacing
+// or clearing hooks must detach the lifecycle.
+func TestHookLifecycleDedup(t *testing.T) {
+	w := newTestWorld(t, 1, 9)
+	h := &adversary.CapturedHijacker{
+		View:     w,
+		Strategy: &adversary.JoinLeaveAttack{Budget: adversary.Budget{Tau: 0.25}},
+	}
+	w.SetHijacker(h)
+	w.SetSteerHook(h)
+	res := w.ExecBatch([]Op{{Kind: OpJoin}, {Kind: OpJoin}})
+	for _, rr := range res {
+		if rr.Err != nil {
+			t.Fatal(rr.Err)
+		}
+	}
+	if h.CommittedOps != 2 {
+		t.Fatalf("dual-registered hook saw %d commits for a 2-op batch, want 2 (dedup failed)", h.CommittedOps)
+	}
+	w.SetHijacker(nil)
+	w.SetSteerHook(nil)
+	w.ExecBatch([]Op{{Kind: OpJoin}})
+	if h.CommittedOps != 2 {
+		t.Fatalf("cleared hook still saw commits: %d", h.CommittedOps)
+	}
+}
+
+// BenchmarkExecBatchHookedExchange is the hooked-plan hot path the gate
+// enforces: the lean exchange regime with a live hijacker+steer hook. The
+// hook contract is designed so steady state adds ZERO allocations over the
+// unhooked path — BeginBatch revalidates the cached fixation with a Size
+// probe, Redirect/Score are pure reads, and CommitOp folds into existing
+// counters.
+func BenchmarkExecBatchHookedExchange(b *testing.B) {
+	w, _ := newHookedWorld(b, 1, 42)
+	r := xrand.New(7)
+	var ops []Op
+	var res []OpResult
+	for i := 0; i < 32; i++ {
+		ops = fillExchangeBatch(w, r, ops, 4)
+		res = w.ExecBatchInto(res, ops)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops = fillExchangeBatch(w, r, ops, 4)
+		res = w.ExecBatchInto(res, ops)
+	}
+	_ = res
+}

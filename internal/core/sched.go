@@ -39,10 +39,13 @@ package core
 // Consequently ExecBatch is a pure function of (world state, batch): a
 // Shards=1 world and a Shards=8 world with equal seeds produce IDENTICAL
 // results — same Stats, same security counters, same membership, same
-// ledger totals — regardless of GOMAXPROCS. When an adversary hook
-// (hijacker, steer scorer) is installed, planning drops to one worker so
-// even stateful hooks observe walks in deterministic op order; the
-// contract holds unconditionally. Divergence from the classic
+// ledger totals — regardless of GOMAXPROCS. Adversary hooks (hijacker,
+// steer scorer) plan at full parallelism under the snapshot-scoped hook
+// contract (hooks.go): plan-phase Redirect/Score calls are pure reads of
+// state fixed before the batch, refreshed serially via BeginBatch, with
+// hook bookkeeping folded in op order via CommitOp next to the
+// scheduler's own order-sensitive folds; the contract holds
+// unconditionally. Divergence from the classic
 // one-op-per-call API is confined to (a) per-op RNG substreams instead of
 // one shared stream, (b) security settling at batch (= paper time step)
 // boundaries rather than per op, and (c) walks inside a batch observing
@@ -262,6 +265,11 @@ type schedScratch struct {
 	errs     []error
 	ctxs     []*planContext
 
+	// hijacked is the per-op hijacked-walk tally handed to hook CommitOp
+	// calls, filled in op order from admitted plans' stats and the serial
+	// tail's stat deltas. Only maintained when a BatchHook is registered.
+	hijacked []int64
+
 	// planFn/applyFn are the worker bodies handed to runIndexed, built once:
 	// a fresh closure per batch would escape to the heap and break the
 	// zero-allocation steady state. They capture only the world, reading the
@@ -280,6 +288,13 @@ func (s *schedScratch) ensure(n int) {
 		s.rngs = append(s.rngs[:cap(s.rngs)], make([]xrand.Rand, n-cap(s.rngs))...)
 	}
 	s.rngs = s.rngs[:n]
+	if cap(s.hijacked) < n {
+		s.hijacked = append(s.hijacked[:cap(s.hijacked)], make([]int64, n-cap(s.hijacked))...)
+	}
+	s.hijacked = s.hijacked[:n]
+	for i := range s.hijacked {
+		s.hijacked[i] = 0
+	}
 }
 
 // cs returns the cluster record visible to this plan: the op-local copy
@@ -628,19 +643,6 @@ func (w *World) schedWorkers(n int) int {
 	return n
 }
 
-// planWorkers is schedWorkers restricted to 1 when an adversary hook
-// (hijacker, steer scorer) is installed: plan walks consult those hooks,
-// and a STATEFUL hook observing walks in scheduling-dependent order would
-// make results depend on GOMAXPROCS. Serial planning visits the hooks in
-// op order, preserving ExecBatch's unconditional determinism contract.
-// The apply phase never consults the hooks and stays parallel.
-func (w *World) planWorkers(n int) int {
-	if w.hijack.installed() || w.steer != nil {
-		return 1
-	}
-	return w.schedWorkers(n)
-}
-
 // runIndexed fans fn(worker, 0..n-1) across the given number of workers
 // via an atomic claim counter, or runs inline (worker 0) when workers <= 1.
 // fn must be safe for concurrent invocation on distinct indexes; the worker
@@ -706,6 +708,14 @@ func (w *World) ExecBatchInto(res []OpResult, ops []Op) []OpResult {
 		return res
 	}
 
+	// Serial hook refresh: installed batch-lifecycle hooks fix their
+	// snapshot-scoped decision state against the quiescent pre-batch world
+	// before any plan worker can consult them (hooks.go).
+	hooks, nHooks := w.hookLifecycles()
+	for i := 0; i < nHooks; i++ {
+		hooks[i].BeginBatch()
+	}
+
 	// Per-op substreams and (for joins) node IDs, derived in op order from
 	// pooled plan records and in-place-reseeded substreams.
 	s := &w.sched
@@ -724,9 +734,10 @@ func (w *World) ExecBatchInto(res []OpResult, ops []Op) []OpResult {
 	// Phase 1: plan, possibly on workers. Plans are independent: each
 	// reads the quiescent world, draws its own substream, charges its own
 	// ledger; each worker plans on its own pooled machinery (view, walker,
-	// exchanger). Worlds with adversary hooks installed plan serially (see
-	// planWorkers).
-	workers := w.planWorkers(len(ops))
+	// exchanger). Adversary hooks are consulted concurrently here — pure
+	// reads under the hook contract, so hooked worlds plan at full
+	// parallelism.
+	workers := w.schedWorkers(len(ops))
 	for len(s.ctxs) < workers {
 		ctx, err := newPlanContext(w)
 		if err != nil {
@@ -804,6 +815,9 @@ func (w *World) ExecBatchInto(res []OpResult, ops []Op) []OpResult {
 		}
 		w.led.Merge(&p.led)
 		w.stats.accumulate(p.stats)
+		if nHooks > 0 {
+			s.hijacked[p.idx] = p.stats.HijackedWalks
+		}
 		res[p.idx] = OpResult{Node: p.newNode}
 	}
 
@@ -813,6 +827,7 @@ func (w *World) ExecBatchInto(res []OpResult, ops []Op) []OpResult {
 	for _, p := range s.tail {
 		s.rngs[p.idx].SplitInto(&s.tailRng, 0x7A11)
 		tailRng := &s.tailRng
+		hijackedBefore := w.stats.HijackedWalks
 		var err error
 		switch p.op.Kind {
 		case OpJoin:
@@ -832,7 +847,22 @@ func (w *World) ExecBatchInto(res []OpResult, ops []Op) []OpResult {
 		case OpExchange:
 			err = w.forceExchangeWith(w.led, tailRng, p.op.Target, false)
 		}
+		if nHooks > 0 {
+			s.hijacked[p.idx] = w.stats.HijackedWalks - hijackedBefore
+		}
 		res[p.idx] = OpResult{Node: p.newNode, Err: err, Deferred: true, DeferReason: p.reason}
+	}
+
+	// Hook commit fold: once per op, in op order across admitted and tail
+	// alike, after every effect of the batch is in place — the serial step
+	// where hook bookkeeping (ratchet counters, budget spend) lands, next
+	// to the scheduler's own order-sensitive folds above.
+	if nHooks > 0 {
+		for i := range res {
+			for h := 0; h < nHooks; h++ {
+				hooks[h].CommitOp(i, res[i].Err == nil, s.hijacked[i])
+			}
+		}
 	}
 
 	// One settle per batch: the batch is one paper time step.

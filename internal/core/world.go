@@ -150,36 +150,25 @@ func (s *Stats) accumulate(d Stats) {
 	s.HijackedWalks += d.HijackedWalks
 }
 
-// hijackProxy lets the adversary be installed after World construction.
-// The mutex guards installation against concurrent reads; the op scheduler
-// additionally plans serially whenever a hijacker is installed (see
-// planWorkers) so a stateful hijacker observes walks in deterministic op
-// order.
+// hijackProxy lets the adversary be installed after World construction:
+// walker configs capture the proxy once and read whatever hook is current.
+// Installation is serial (SetHijacker must not run concurrently with
+// world operations); Redirect is called from concurrent plan workers, but
+// the hook contract (hooks.go) makes those calls pure reads, so the proxy
+// needs no lock — concurrent readers of an unchanging field race with
+// nothing.
 type hijackProxy struct {
-	mu sync.Mutex
-	h  walk.Hijacker
+	h walk.Hijacker
 }
 
-func (p *hijackProxy) Redirect(at ids.ClusterID) (ids.ClusterID, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+func (p *hijackProxy) Redirect(r *xrand.Rand, at ids.ClusterID) (ids.ClusterID, bool) {
 	if p.h == nil {
 		return 0, false
 	}
-	return p.h.Redirect(at)
+	return p.h.Redirect(r, at)
 }
 
-func (p *hijackProxy) set(h walk.Hijacker) {
-	p.mu.Lock()
-	p.h = h
-	p.mu.Unlock()
-}
-
-func (p *hijackProxy) installed() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.h != nil
-}
+func (p *hijackProxy) set(h walk.Hijacker) { p.h = h }
 
 // worldShard is one independently lockable segment of the cluster-keyed
 // state: a dense slot-indexed arena of cluster records plus every index
@@ -434,6 +423,13 @@ type World struct {
 	hijack *hijackProxy
 	steer  func(ids.ClusterID) float64
 
+	// hijackHook/steerHook are the installed hooks' batch lifecycles
+	// (BatchHook side of SetHijacker / SetSteerHook), driven serially by
+	// ExecBatch: BeginBatch before planning, CommitOp in op order after
+	// apply. See hooks.go.
+	hijackHook BatchHook
+	steerHook  BatchHook
+
 	pendingRejoin []ids.NodeID
 	rejoinByz     map[ids.NodeID]bool
 	stats         Stats
@@ -510,14 +506,6 @@ func (w *World) steerScore(c ids.ClusterID) float64 {
 	}
 	return w.steer(c)
 }
-
-// SetHijacker installs (or clears) the adversary's captured-cluster walk
-// redirection hook.
-func (w *World) SetHijacker(h walk.Hijacker) { w.hijack.set(h) }
-
-// SetSteer installs (or clears) the adversary's scoring of clusters used to
-// bias last-revealer randomness (only effective with a biasable generator).
-func (w *World) SetSteer(f func(ids.ClusterID) float64) { w.steer = f }
 
 // Config returns the world's configuration.
 func (w *World) Config() Config { return w.cfg }

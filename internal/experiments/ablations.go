@@ -3,7 +3,6 @@ package experiments
 import (
 	"nowover/internal/adversary"
 	"nowover/internal/core"
-	"nowover/internal/ids"
 	"nowover/internal/randnum"
 	"nowover/internal/sim"
 	"nowover/internal/workload"
@@ -11,8 +10,11 @@ import (
 
 // ablationRun executes one steady-churn run with a mutated config and
 // returns the result; exact selects the per-operation cost accumulator
-// mode (Scale.ExactSamples).
-func ablationRun(n int, tau float64, steps int, seed uint64, exact bool,
+// mode (Scale.ExactSamples). opsPerStep > 1 switches the cell to the
+// concurrent churn driver (Scale.OpsPerStep): per-operation cost
+// sampling is unavailable there, so it is enabled only on the classic
+// driver.
+func ablationRun(n int, tau float64, steps int, seed uint64, exact bool, opsPerStep int,
 	strategy adversary.Strategy, mutate func(*core.Config)) (*sim.Result, error) {
 	cfg := sim.Config{
 		Core:          core.DefaultConfig(n),
@@ -21,8 +23,9 @@ func ablationRun(n int, tau float64, steps int, seed uint64, exact bool,
 		Steps:         steps,
 		Seed:          seed,
 		Strategy:      strategy,
-		SampleOpCosts: true,
+		SampleOpCosts: opsPerStep <= 1,
 		ExactSamples:  exact,
+		OpsPerStep:    opsPerStep,
 	}
 	cfg.Core.Seed = seed
 	if mutate != nil {
@@ -99,7 +102,7 @@ func AblationLeaveCascade(s Scale) (*Table, error) {
 	cascades := []bool{true, false}
 	if err := t.RunCells(len(cascades), func(i int, frag *Table) error {
 		cascade := cascades[i]
-		res, err := ablationRun(n, 0.25, steps, s.Seed, s.ExactSamples,
+		res, err := ablationRun(n, 0.25, steps, s.Seed, s.ExactSamples, s.OpsPerStep,
 			&adversary.JoinLeaveAttack{Budget: adversary.Budget{Tau: 0.25}},
 			func(c *core.Config) {
 				c.LeaveCascade = cascade
@@ -109,7 +112,13 @@ func AblationLeaveCascade(s Scale) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		frag.AddRow(n, cascade, res.OpCosts.LeaveMsgs.Mean(),
+		// The batched driver does not sample per-operation costs; render
+		// the column as absent rather than a NaN mean.
+		leaveMsgs := any("-")
+		if s.OpsPerStep <= 1 {
+			leaveMsgs = res.OpCosts.LeaveMsgs.Mean()
+		}
+		frag.AddRow(n, cascade, leaveMsgs,
 			res.Stats.MaxByzFractionEver,
 			100*float64(res.DegradedSteps)/float64(res.Steps),
 			100*float64(res.CapturedSteps)/float64(res.Steps))
@@ -196,6 +205,7 @@ func AblationCommitReveal(s Scale) (*Table, error) {
 			Steps:           steps,
 			Seed:            s.Seed,
 			InstallHijacker: true,
+			OpsPerStep:      s.OpsPerStep,
 		}
 		cfg.Core.Seed = s.Seed
 		cfg.Core.K = 3
@@ -205,15 +215,12 @@ func AblationCommitReveal(s Scale) (*Table, error) {
 			return err
 		}
 		// Give the biasable generator an adversary objective: steer walks
-		// toward the attack target.
-		if strategy, ok := cfg.Strategy.(*adversary.JoinLeaveAttack); ok {
-			w := runner.World()
-			w.SetSteer(func(c ids.ClusterID) float64 {
-				if c == strategy.Target(w) {
-					return 1
-				}
-				return 0
-			})
+		// toward the attack target. The installed hijacker already carries
+		// the strategy's snapshot-scoped fixation, so its Score method IS
+		// the steer function — one hook object, one batch lifecycle for
+		// both redirect and steer decisions.
+		if h := runner.Hijacker(); h != nil {
+			runner.World().SetSteerHook(h)
 		}
 		res, err := runner.Run()
 		if err != nil {

@@ -168,6 +168,16 @@ type Scale struct {
 	// the operation count. Means and counts are identical in both modes;
 	// only quantile columns move, within the sketch's rank-error bounds.
 	ExactSamples bool
+	// OpsPerStep > 1 runs the adversary cells (A2, A4) through the
+	// concurrent churn driver (sim.Config.OpsPerStep): each time step
+	// batches up to this many operations through the op scheduler, so
+	// hooked attack sweeps exploit sharded worlds (SetWorldShards) at
+	// full plan parallelism. Tables stay deterministic at any shard count
+	// and GOMAXPROCS, but the batched trace is a different (equally valid)
+	// trajectory from the classic driver's, and per-operation cost columns
+	// are unavailable in batched mode. 0 or 1 keeps the classic driver
+	// and the recorded baseline tables.
+	OpsPerStep int
 }
 
 // ExtendTo widens the N sweep by doubling the top size until exactly maxN,

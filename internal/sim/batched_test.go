@@ -98,12 +98,76 @@ func TestBatchedValidation(t *testing.T) {
 	cfg = batchedConfig(8, 4, 1)
 	cfg.InstallHijacker = true
 	cfg.Strategy = &adversary.JoinLeaveAttack{Budget: adversary.Budget{Tau: 0.15}}
-	if _, err := New(cfg); err == nil {
-		t.Fatal("OpsPerStep>1 with InstallHijacker accepted")
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatalf("OpsPerStep>1 with InstallHijacker rejected: %v", err)
+	}
+	if r.Hijacker() == nil {
+		t.Fatal("hijacker requested but not installed on the batched driver")
 	}
 	cfg.InstallHijacker = false
 	if _, err := New(cfg); err != nil {
 		t.Fatalf("attack strategy without hijacker rejected: %v", err)
+	}
+}
+
+// TestBatchedHookedShardCountInvariant pins the tentpole contract at the
+// driver level: a fully hooked world — hijacker redirecting walks AND the
+// same hook object steering randCl draws — batched through the scheduler
+// is byte-identical across shard counts, down to the hijack tallies the
+// commit step folds in op order.
+func TestBatchedHookedShardCountInvariant(t *testing.T) {
+	run := func(shards int) (*Result, *adversary.CapturedHijacker) {
+		cfg := batchedConfig(shards, 8, 11)
+		if testing.Short() {
+			cfg.Core = core.DefaultConfig(1024)
+			cfg.Core.Seed = 11
+			cfg.Core.Shards = shards
+			cfg.InitialSize = 256
+			cfg.Steps = 30
+		}
+		cfg.Strategy = &adversary.JoinLeaveAttack{Budget: adversary.Budget{Tau: 0.15}}
+		cfg.InstallHijacker = true
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := r.Hijacker()
+		if h == nil {
+			t.Fatal("no hijacker installed")
+		}
+		r.World().SetSteerHook(h)
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.CheckInvariants(r.World()); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return res, h
+	}
+	a, ha := run(1)
+	b, hb := run(8)
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverged across shard counts:\n%+v\nvs\n%+v", a.Stats, b.Stats)
+	}
+	if a.Stats.HijackedWalks == 0 {
+		t.Fatal("hooked run hijacked no walks: the redirect path never ran")
+	}
+	if a.Final != b.Final {
+		t.Fatalf("final audit diverged:\n%+v\nvs\n%+v", a.Final, b.Final)
+	}
+	if ha.Hijacked != hb.Hijacked || ha.CommittedOps != hb.CommittedOps {
+		t.Fatalf("hook bookkeeping diverged: hijacked %d/%d ops %d/%d",
+			ha.Hijacked, hb.Hijacked, ha.CommittedOps, hb.CommittedOps)
+	}
+	if ha.Hijacked != a.Stats.HijackedWalks {
+		t.Fatalf("commit fold lost walks: hook saw %d, world recorded %d",
+			ha.Hijacked, a.Stats.HijackedWalks)
+	}
+	if a.BatchedOps != b.BatchedOps || a.DeferredOps != b.DeferredOps || a.SkippedOps != b.SkippedOps {
+		t.Fatalf("scheduler counters diverged: %d/%d/%d vs %d/%d/%d",
+			a.BatchedOps, a.DeferredOps, a.SkippedOps, b.BatchedOps, b.DeferredOps, b.SkippedOps)
 	}
 }
 

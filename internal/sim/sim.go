@@ -67,12 +67,15 @@ type Config struct {
 	// world's op scheduler (core.World.ExecBatch), so non-conflicting
 	// join/leave/exchange work executes concurrently on sharded worlds
 	// (Core.Shards > 1). Results stay deterministic in the seeds at any
-	// shard count. 0 or 1 keeps the classic one-op-per-step driver.
+	// shard count — including with InstallHijacker: the hook contract
+	// (core hooks.go) makes plan-phase hijack/steer decisions pure reads
+	// of state fixed at the batch boundary, so hooked batches plan at
+	// full parallelism. Batched attack traces are a distinct (equally
+	// deterministic) trajectory from the classic driver's: the hijacker
+	// reads the step-boundary target snapshot instead of re-fixating
+	// mid-operation. 0 or 1 keeps the classic one-op-per-step driver.
 	// Batched mode does not collect per-operation cost samples
-	// (SampleOpCosts is ignored) and refuses InstallHijacker: the paper's
-	// targeted-attack evaluations (and their recorded baselines) are
-	// defined against the classic serial driver, where the hijacker sees
-	// every walk of every operation in sequence.
+	// (SampleOpCosts is ignored).
 	OpsPerStep int
 }
 
@@ -88,9 +91,6 @@ func (c Config) validate() error {
 	}
 	if c.OpsPerStep < 0 {
 		return fmt.Errorf("sim: negative OpsPerStep %d", c.OpsPerStep)
-	}
-	if c.OpsPerStep > 1 && c.InstallHijacker {
-		return fmt.Errorf("sim: OpsPerStep=%d is incompatible with InstallHijacker (attack evaluation is defined against the classic serial driver)", c.OpsPerStep)
 	}
 	return nil
 }
@@ -164,6 +164,7 @@ type Runner struct {
 	world    *core.World
 	strategy adversary.Strategy
 	schedule workload.Schedule
+	hijacker *adversary.CapturedHijacker
 	rng      *xrand.Rand
 	rejoins  []ids.NodeID
 
@@ -204,16 +205,25 @@ func New(cfg Config) (*Runner, error) {
 		rng:      xrand.New(cfg.Seed ^ 0xAD5A11),
 	}
 	if cfg.InstallHijacker {
-		if tgt, ok := strategy.(interface {
-			Target(adversary.View) ids.ClusterID
-		}); ok {
-			w.SetHijacker(adversary.CapturedHijacker{TargetFn: func() (ids.ClusterID, bool) {
-				return tgt.Target(w), true
-			}})
+		// The hijacker reads the strategy's cached fixation (pure
+		// PlanTarget) and ratchets it through the serial batch lifecycle;
+		// under the classic driver the per-step Decide call keeps the
+		// fixation equally fresh. Strategies without the commit-scoped
+		// Target side (e.g. DOSAttack) expose no coherent fixation to
+		// redirect to, so no hook is installed — same as before.
+		if tgt, ok := strategy.(adversary.TargetProvider); ok {
+			r.hijacker = &adversary.CapturedHijacker{View: w, Strategy: tgt}
+			w.SetHijacker(r.hijacker)
 		}
 	}
 	return r, nil
 }
+
+// Hijacker returns the captured-cluster redirection hook New installed
+// (Config.InstallHijacker), or nil. Experiments use it to wire the same
+// snapshot-scoped target fixation into the steer hook
+// (World.SetSteerHook) so both hooks ride one batch lifecycle.
+func (r *Runner) Hijacker() *adversary.CapturedHijacker { return r.hijacker }
 
 // World exposes the underlying world (for experiments that need mid-run
 // inspection).

@@ -53,8 +53,19 @@ type Topology interface {
 // clusters. Redirect is consulted when the walk is at a captured cluster;
 // returning ok=true ends the walk at the returned cluster (the captured
 // cluster forges the remaining protocol).
+//
+// Redirect must be PURE with respect to the walk: it may read the hook's
+// own snapshot-scoped decision state and draw from r — the walk's per-op
+// substream, so hook randomness is charged to the op that consulted it —
+// but it must not mutate shared hook state. The op scheduler plans every
+// op of a batch concurrently and consults hooks from worker goroutines in
+// scheduling-dependent order; a Redirect that writes anywhere reachable
+// from another op's Redirect breaks the determinism contract (and the
+// race detector). Hook bookkeeping belongs in the batch lifecycle the
+// world drives (core.BatchHook): decision state refreshes serially before
+// planning, ratchet counters fold serially in op order after apply.
 type Hijacker interface {
-	Redirect(at ids.ClusterID) (ids.ClusterID, bool)
+	Redirect(r *xrand.Rand, at ids.ClusterID) (ids.ClusterID, bool)
 }
 
 // Config parameterizes the walker.
@@ -71,14 +82,18 @@ type Config struct {
 	// choice along the walk.
 	Gen randnum.Generator
 	// Hijack, when non-nil, gives the adversary control of walks that
-	// visit captured clusters.
+	// visit captured clusters. Subject to the purity contract on the
+	// Hijacker interface.
 	Hijack Hijacker
 	// Steer, when non-nil, scores clusters by their value to the
 	// adversary. It is translated into per-draw objectives, which only
 	// biasable generators (randnum.CommitReveal) act on: next-hop draws
 	// prefer higher-scored neighbors and acceptance draws prefer stopping
 	// at higher-scored endpoints. With the Ideal generator Steer has no
-	// effect below capture.
+	// effect below capture. Steer is under the same purity contract as
+	// Hijacker.Redirect: concurrent plan workers score clusters in
+	// scheduling-dependent order, so the function must be a read of
+	// snapshot-scoped state, never a mutation.
 	Steer func(c ids.ClusterID) float64
 }
 
@@ -217,7 +232,7 @@ func (w *Walker) segment(led *metrics.Ledger, r *xrand.Rand, out *Outcome) error
 	cur := out.End
 	for remaining > 0 {
 		if w.cfg.Hijack != nil && randnum.Classify(w.topo.Size(cur), w.topo.Byz(cur)) == randnum.Captured {
-			if target, ok := w.cfg.Hijack.Redirect(cur); ok {
+			if target, ok := w.cfg.Hijack.Redirect(r, cur); ok {
 				out.End = target
 				out.Hijacked = true
 				out.WorstSecurity = randnum.Captured

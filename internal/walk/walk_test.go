@@ -250,7 +250,9 @@ func TestSingleClusterWalkStaysPut(t *testing.T) {
 
 type fixedHijacker struct{ target ids.ClusterID }
 
-func (h fixedHijacker) Redirect(ids.ClusterID) (ids.ClusterID, bool) { return h.target, true }
+func (h fixedHijacker) Redirect(*xrand.Rand, ids.ClusterID) (ids.ClusterID, bool) {
+	return h.target, true
+}
 
 func TestHijackFromCapturedCluster(t *testing.T) {
 	topo := newFakeTopo(t, 16, 4, 12)

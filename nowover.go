@@ -171,6 +171,24 @@ type (
 	Budget = adversary.Budget
 )
 
+// Adversary hook contract (see core hooks.go): plan-phase hook decisions
+// are pure snapshot reads, hook bookkeeping folds through the serial
+// batch lifecycle — which is what lets hooked worlds (SimConfig with
+// InstallHijacker, World.SetHijacker/SetSteerHook) plan op batches at
+// full parallelism with byte-identical results at any shard count.
+type (
+	// BatchHook is the serial per-batch lifecycle of an adversary hook.
+	BatchHook = core.BatchHook
+	// Steerer scores clusters for last-revealer bias (SetSteerHook).
+	Steerer = core.Steerer
+	// CapturedHijacker redirects walks transiting captured clusters to
+	// the strategy's snapshot-scoped target fixation.
+	CapturedHijacker = adversary.CapturedHijacker
+	// TargetProvider is the plan/commit-scoped target contract attack
+	// strategies expose (JoinLeaveAttack implements it).
+	TargetProvider = adversary.TargetProvider
+)
+
 // Experiment harness aliases (regenerates every claim-table; see
 // EXPERIMENTS.md).
 type (

@@ -19,7 +19,7 @@ out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
 echo "== benchmem gate: core hot paths =="
-go test -run '^$' -bench 'BenchmarkExecBatchExchange|BenchmarkExecBatchChurn|BenchmarkSnapshotClusterInto' \
+go test -run '^$' -bench 'BenchmarkExecBatchExchange|BenchmarkExecBatchHookedExchange|BenchmarkExecBatchChurn|BenchmarkSnapshotClusterInto' \
 	-benchmem -benchtime 50x ./internal/core/ | tee -a "$out"
 
 echo "== benchmem gate: sharded world batch (lean regime) =="
@@ -30,6 +30,7 @@ go test -run '^$' -bench 'BenchmarkShardedWorldBatch/lean' \
 # applicable prefix listed here; benchmarks without a floor are informational.
 floors='
 BenchmarkExecBatchExchange 0
+BenchmarkExecBatchHookedExchange 0
 BenchmarkExecBatchChurn 8
 BenchmarkSnapshotClusterInto 0
 BenchmarkShardedWorldBatch/lean/ 10
