@@ -10,6 +10,12 @@
 //	nownet                          # 9 nodes, 15% loss, node 8 partitioned
 //	nownet -n 13 -t 3 -drop 0.3
 //	nownet -drop 0 -cut -1          # clean network, no partition
+//	nownet -transport tcp           # same committee over real sockets on localhost
+//
+// With -transport tcp the committee runs over the wall-clock TCP
+// transport instead: every message crosses a real localhost socket and
+// rounds are paced in milliseconds. Fault injection (-drop, -cut) is a
+// loopback-net feature and is inert there.
 package main
 
 import (
@@ -26,14 +32,16 @@ import (
 
 // config is the parsed command line.
 type config struct {
-	n       int
-	faults  int
-	seed    uint64
-	drop    float64
-	cut     int64 // partitioned node id, -1 to disable
-	healAt  int64
-	inputs  string
-	rtTicks int64
+	n         int
+	faults    int
+	seed      uint64
+	drop      float64
+	cut       int64 // partitioned node id, -1 to disable
+	healAt    int64
+	inputs    string
+	rtTicks   int64
+	transport string
+	rtSet     bool // -round-ticks given explicitly
 }
 
 // parseConfig parses the command line and validates the committee shape.
@@ -47,9 +55,21 @@ func parseConfig(args []string) (*config, error) {
 	fs.Int64Var(&c.cut, "cut", -1<<62, "node to partition away at tick 0 (default: highest id; -1 disables)")
 	fs.Int64Var(&c.healAt, "heal", 500, "tick at which the partition heals")
 	fs.StringVar(&c.inputs, "inputs", "mixed", "honest inputs: mixed | unanimous")
-	fs.Int64Var(&c.rtTicks, "round-ticks", 1024, "virtual-time length of one protocol round")
+	fs.Int64Var(&c.rtTicks, "round-ticks", 1024, "length of one protocol round (virtual ticks on loopback, milliseconds on tcp; tcp defaults to 100)")
+	fs.StringVar(&c.transport, "transport", "loopback", "transport: loopback (deterministic, fault-injectable) | tcp (real sockets on localhost)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "round-ticks" {
+			c.rtSet = true
+		}
+	})
+	if c.transport != "loopback" && c.transport != "tcp" {
+		return nil, fmt.Errorf("unknown -transport %q", c.transport)
+	}
+	if c.transport == "tcp" && !c.rtSet {
+		c.rtTicks = 100
 	}
 	if c.n <= 4*c.faults {
 		return nil, fmt.Errorf("phase king needs n > 4t, got n=%d t=%d", c.n, c.faults)
@@ -83,30 +103,64 @@ func run(c *config, out io.Writer) error {
 		nodes[id] = node
 	}
 
-	net := nownet.NewLoopback(nownet.Config{
-		Seed: c.seed,
-		Link: nownet.LinkConfig{Latency: 1, Drop: c.drop},
-	})
-	defer net.Close()
-	cluster, err := nownet.NewCluster(net, procs, nownet.HostConfig{
+	hostCfg := nownet.HostConfig{
 		Rounds:     rounds,
 		RoundTicks: c.rtTicks,
 		Mode:       nownet.ModeReliable,
 		Policy:     nownet.RetryPolicy{Timeout: 4, Retries: 4, Backoff: 2, Cap: 32},
 		Class:      metrics.ClassAgreement,
-	})
-	if err != nil {
-		return err
 	}
-	fmt.Fprintf(out, "nownet: phase king, n=%d t=%d rounds=%d, drop=%.2f seed=%d\n",
-		c.n, c.faults, rounds, c.drop, c.seed)
-	if c.cut >= 0 {
-		net.SetPartition(map[ids.NodeID]int{ids.NodeID(c.cut): 1})
-		net.At(c.healAt, func() { net.SetPartition(nil) })
-		fmt.Fprintf(out, "partition: node %d cut at tick 0, healed at tick %d\n", c.cut, c.healAt)
+	var cluster *nownet.Cluster
+	var err error
+	var transportLine string
+	if c.transport == "tcp" {
+		// Real sockets on localhost: one transport hosts the whole
+		// committee, every member's address mapped to the shared listener,
+		// so each protocol message still crosses the loopback interface.
+		// Fault injection is a loopback-net feature; -drop/-cut are inert.
+		tr, terr := nownet.NewTCP(nownet.TCPConfig{})
+		if terr != nil {
+			return terr
+		}
+		defer tr.Close()
+		for i := 0; i < c.n; i++ {
+			tr.SetPeer(ids.NodeID(i), tr.Addr())
+		}
+		hostCfg.Policy = nownet.RetryPolicy{Timeout: c.rtTicks / 4, Retries: 3, Backoff: 2, Cap: c.rtTicks}
+		cluster, err = nownet.NewCluster(tr, procs, hostCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "nownet: phase king, n=%d t=%d rounds=%d, transport=tcp %s (fault flags inert)\n",
+			c.n, c.faults, rounds, tr.Addr())
+		cluster.Start()
+		cluster.Wait()
+		s := tr.Stats()
+		transportLine = fmt.Sprintf("transport: dials=%d accepts=%d sent=%d delivered=%d resync_bytes=%d",
+			s.Dials, s.Accepts, s.Sent, s.Delivered, s.ResyncBytes)
+	} else {
+		net := nownet.NewLoopback(nownet.Config{
+			Seed: c.seed,
+			Link: nownet.LinkConfig{Latency: 1, Drop: c.drop},
+		})
+		defer net.Close()
+		cluster, err = nownet.NewCluster(net, procs, hostCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "nownet: phase king, n=%d t=%d rounds=%d, drop=%.2f seed=%d\n",
+			c.n, c.faults, rounds, c.drop, c.seed)
+		if c.cut >= 0 {
+			net.SetPartition(map[ids.NodeID]int{ids.NodeID(c.cut): 1})
+			net.At(c.healAt, func() { net.SetPartition(nil) })
+			fmt.Fprintf(out, "partition: node %d cut at tick 0, healed at tick %d\n", c.cut, c.healAt)
+		}
+		cluster.Start()
+		net.Run()
+		s := net.Stats()
+		transportLine = fmt.Sprintf("transport: sent=%d delivered=%d dropped(random=%d partition=%d)",
+			s.Sent, s.Delivered, s.DroppedRandom, s.DroppedPartition)
 	}
-	cluster.Start()
-	net.Run()
 
 	agree := true
 	var first int64
@@ -125,11 +179,9 @@ func run(c *config, out io.Writer) error {
 			agree = false
 		}
 	}
-	s := net.Stats()
 	ns, hs := cluster.Stats()
 	led := cluster.Ledger()
-	fmt.Fprintf(out, "transport: sent=%d delivered=%d dropped(random=%d partition=%d)\n",
-		s.Sent, s.Delivered, s.DroppedRandom, s.DroppedPartition)
+	fmt.Fprintln(out, transportLine)
 	fmt.Fprintf(out, "runtime: emitted=%d retries=%d timeouts=%d undelivered=%d duplicates=%d stale=%d\n",
 		hs.Emitted, ns.Retries, ns.Timeouts, hs.Undelivered, hs.Duplicates, hs.Stale)
 	fmt.Fprintf(out, "ledger: agreement=%d transport-overhead=%d\n",
@@ -138,7 +190,11 @@ func run(c *config, out io.Writer) error {
 		fmt.Fprintln(out, "verdict: DISAGREEMENT")
 		return fmt.Errorf("committee failed to agree")
 	}
-	fmt.Fprintln(out, "verdict: AGREEMENT despite injected faults")
+	if c.transport == "tcp" {
+		fmt.Fprintln(out, "verdict: AGREEMENT over real sockets")
+	} else {
+		fmt.Fprintln(out, "verdict: AGREEMENT despite injected faults")
+	}
 	return nil
 }
 

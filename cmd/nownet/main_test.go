@@ -26,6 +26,46 @@ func TestParseConfig(t *testing.T) {
 	if c.cut != -1 {
 		t.Errorf("cut = %d, want -1 (disabled)", c.cut)
 	}
+	if _, err := parseConfig([]string{"-transport", "bogus"}); err == nil {
+		t.Error("accepted unknown transport")
+	}
+	c, err = parseConfig([]string{"-transport", "tcp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.rtTicks != 100 {
+		t.Errorf("tcp default round-ticks = %d, want 100", c.rtTicks)
+	}
+	c, err = parseConfig([]string{"-transport", "tcp", "-round-ticks", "64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.rtTicks != 64 {
+		t.Errorf("explicit round-ticks = %d, want 64", c.rtTicks)
+	}
+}
+
+func TestRunTCPTransport(t *testing.T) {
+	// The demo committee over real sockets: unanimity must hold exactly as
+	// on loopback, and the report must show socket traffic.
+	c, err := parseConfig([]string{"-transport", "tcp", "-n", "5", "-t", "1", "-inputs", "unanimous", "-round-ticks", "100"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(c, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "verdict: AGREEMENT") {
+		t.Errorf("missing agreement verdict:\n%s", got)
+	}
+	if strings.Contains(got, "decided 0") || strings.Contains(got, "UNDECIDED") {
+		t.Errorf("validity violated:\n%s", got)
+	}
+	if !strings.Contains(got, "transport: dials=") || strings.Contains(got, "dials=0") {
+		t.Errorf("tcp run reported no socket traffic:\n%s", got)
+	}
 }
 
 func TestRunDecidesUnderFaults(t *testing.T) {

@@ -202,6 +202,27 @@ func TestSuppressionDiscipline(t *testing.T) {
 	}
 }
 
+// TestWallClockFixture pins the contract for intentionally wall-clock
+// code inside internal/ (the TCP transport's shape): a justified
+// //nowlint:rng silences exactly its site, while a bare one suppresses
+// nothing — the call it sits on still fires, and the suppression itself
+// is a finding. This is what makes a reason-less suppression in new
+// wall-clock code fail the lint job rather than slip through.
+func TestWallClockFixture(t *testing.T) {
+	diags := runFixture(t, "wallclock", "fixture/wallclock")
+	src := filepath.Join("testdata", "src", "wallclock", "wallclock.go")
+	bare := lineMatching(t, src, func(s string) bool { return s == "//nowlint:rng" })
+	want := append(expectedFindings(t, "wallclock"), fmt.Sprintf("wallclock.go:%d suppression", bare))
+	sort.Strings(want)
+	got := actualFindings(diags)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("wallclock fixture: diagnostics mismatch\n got: %v\nwant: %v", got, want)
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+}
+
 // TestSelfCheck is the dogfood gate: the repo's own tree must be clean
 // under the full suite. Any new nondeterminism hazard (or stale
 // suppression) fails this test before it ever reaches CI's lint job.

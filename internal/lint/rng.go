@@ -10,11 +10,16 @@ import (
 // behavior in simulation-reachable packages flows through internal/xrand
 // streams (seeded, splittable) so a run is a pure function of its seed.
 // It forbids importing math/rand, math/rand/v2 or crypto/rand, and calling
-// time.Now/time.Since, anywhere except:
+// the wall-clock half of the time package — Now, Since, Until, Sleep,
+// After, AfterFunc, NewTimer, NewTicker, Tick — anywhere except:
 //
 //   - internal/xrand itself (the one sanctioned math/rand/v2 wrapper),
 //   - cmd/* and examples/* (wall-clock reporting for humans is fine —
 //     nothing a command prints about elapsed time feeds a table).
+//
+// Intentionally wall-clock code inside internal/ (the TCP transport) is
+// not exempt: each site must carry a justified //nowlint:rng explaining
+// why its timing cannot leak into a simulation result.
 var RNGDiscipline = &Analyzer{
 	Name: "rng-discipline",
 	Key:  "rng",
@@ -27,6 +32,15 @@ var forbiddenImports = map[string]string{
 	"math/rand":    "an unseeded (or globally seeded) RNG",
 	"math/rand/v2": "an RNG outside the xrand funnel",
 	"crypto/rand":  "a nondeterministic entropy source",
+}
+
+// wallClockCalls is the time-package API that reads or schedules against
+// the wall clock. Pure arithmetic on time.Duration/time.Time values stays
+// legal — only these entry points observe real time.
+var wallClockCalls = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "NewTimer": true,
+	"NewTicker": true, "Tick": true,
 }
 
 // rngExempt reports whether a package is outside the rule's scope.
@@ -61,8 +75,8 @@ func runRNGDiscipline(p *Pass) {
 			if !ok {
 				return true
 			}
-			if path, name, ok := pkgFuncCall(p, call); ok && path == "time" && (name == "Now" || name == "Since") {
-				p.Reportf(call.Pos(), "time.%s in a simulation-reachable package reads the wall clock; simulation time is the step counter, and wall-clock reporting belongs in cmd/", name)
+			if path, name, ok := pkgFuncCall(p, call); ok && path == "time" && wallClockCalls[name] {
+				p.Reportf(call.Pos(), "time.%s in a simulation-reachable package depends on the wall clock; simulation time is the step counter — move the pacing to cmd/, or justify the site with //nowlint:rng", name)
 			}
 			return true
 		})

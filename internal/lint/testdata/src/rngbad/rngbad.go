@@ -18,6 +18,18 @@ func elapsed() time.Duration {
 	return d
 }
 
+func pace(deadline time.Time) {
+	_ = time.Until(deadline)                        // want rng-discipline
+	time.Sleep(time.Millisecond)                    // want rng-discipline
+	<-time.After(time.Millisecond)                  // want rng-discipline
+	_ = time.AfterFunc(time.Millisecond, func() {}) // want rng-discipline
+	t := time.NewTimer(time.Millisecond)            // want rng-discipline
+	t.Stop()                                        // methods on an existing timer are fine
+	k := time.NewTicker(time.Millisecond)           // want rng-discipline
+	k.Stop()
+	<-time.Tick(time.Millisecond) // want rng-discipline
+}
+
 // formatting only: referencing the time package without Now/Since is fine.
 func format(t time.Time) string {
 	return t.UTC().String()

@@ -1,0 +1,27 @@
+// Package wallclock is a lint fixture for intentionally wall-clock code
+// in a sim-reachable package — the TCP-transport situation. A justified
+// //nowlint:rng silences exactly its site; a bare one suppresses nothing
+// and is itself a finding (the self-check gate for new wall-clock code).
+package wallclock
+
+import "time"
+
+type pacer struct {
+	start time.Time
+	tick  time.Duration
+}
+
+func newPacer(tick time.Duration) *pacer {
+	//nowlint:rng the tick epoch of a wall-clock transport; tick values pace socket timeouts and never reach a simulation table
+	return &pacer{start: time.Now(), tick: tick}
+}
+
+func (p *pacer) nowTick() int64 {
+	//nowlint:rng
+	return int64(time.Since(p.start) / p.tick) // want rng-discipline
+}
+
+func (p *pacer) sleepTicks(n int64) {
+	//nowlint:rng wall-clock round pacing; the protocol result is timing-independent
+	time.Sleep(time.Duration(n) * p.tick)
+}

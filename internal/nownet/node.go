@@ -16,14 +16,16 @@ type Handler func(n *Node, env Envelope)
 
 // NodeStats counts a node's request/response outcomes.
 type NodeStats struct {
-	Casts         int64 // oneway envelopes sent
-	Requests      int64 // Request calls
-	Retries       int64 // retransmissions beyond each first attempt
-	Timeouts      int64 // attempt windows that expired
-	Failed        int64 // Requests that exhausted every retry
-	Responses     int64 // responses sent by handlers
-	LateResponses int64 // responses with no parked waiter (post-timeout)
-	Unhandled     int64 // inbound envelopes with no registered handler
+	Casts           int64 // oneway envelopes sent
+	Requests        int64 // Request calls
+	Retries         int64 // retransmissions beyond each first attempt
+	Timeouts        int64 // attempt windows that expired
+	Failed          int64 // Requests that gave up (every retry timed out, or a send error)
+	Responses       int64 // responses sent by handlers
+	LateResponses   int64 // responses with no parked waiter (post-timeout)
+	ForgedResponses int64 // responses whose From is not the peer the request went to
+	Misrouted       int64 // inbound envelopes addressed to some other node, dropped
+	Unhandled       int64 // inbound envelopes with no registered handler
 }
 
 // Node is the per-process runtime over an Endpoint: one reader goroutine
@@ -33,7 +35,7 @@ type Node struct {
 	ep Endpoint
 
 	mu       sync.Mutex
-	inflight map[uint64]*Waiter
+	inflight map[uint64]inflightEntry
 	nextID   uint64
 	stats    NodeStats
 	started  bool
@@ -41,9 +43,19 @@ type Node struct {
 	handlers [256]Handler
 }
 
+// inflightEntry binds a parked waiter to the peer its request was sent
+// to. Correlating responses by MsgID alone would let any third node that
+// observes (or guesses) the ID forge the response to a request addressed
+// to someone else; the reader only completes a waiter when the response's
+// authenticated From matches the recorded peer.
+type inflightEntry struct {
+	w    *Waiter
+	peer ids.NodeID
+}
+
 // NewNode wraps an endpoint. Register handlers, then Start.
 func NewNode(ep Endpoint) *Node {
-	return &Node{ep: ep, inflight: make(map[uint64]*Waiter)}
+	return &Node{ep: ep, inflight: make(map[uint64]inflightEntry)}
 }
 
 // ID returns the node's transport identity.
@@ -84,19 +96,39 @@ func (n *Node) readLoop() {
 		if !ok {
 			return
 		}
+		if env.To != n.ID() {
+			// Someone else's mail. The loopback net routes by To so this
+			// cannot happen there, but a real transport with a stale or
+			// hostile peer table can misdeliver; processing the envelope
+			// anyway would answer (or complete waiters) on another node's
+			// behalf.
+			n.bump(func(s *NodeStats) { s.Misrouted++ })
+			continue
+		}
 		switch env.Kind {
 		case KindResponse:
 			n.mu.Lock()
-			w := n.inflight[env.MsgID]
+			e := n.inflight[env.MsgID]
 			n.mu.Unlock()
 			// Complete is a non-blocking send into the waiter's buffered
 			// slot; a missing waiter or an already-filled slot means the
 			// requester gave up or a duplicate arrived — count it, drop it.
-			if w == nil || !w.Complete(env) {
+			// A waiter whose recorded peer differs is a forgery: links are
+			// authenticated, so From is trustworthy and the response did
+			// not come from the node the request was sent to.
+			if e.w == nil {
 				n.bump(func(s *NodeStats) { s.LateResponses++ })
 				continue
 			}
-			n.ep.Wake(w)
+			if env.From != e.peer {
+				n.bump(func(s *NodeStats) { s.ForgedResponses++ })
+				continue
+			}
+			if !e.w.Complete(env) {
+				n.bump(func(s *NodeStats) { s.LateResponses++ })
+				continue
+			}
+			n.ep.Wake(e.w)
 		default:
 			h := n.handlers[env.Type]
 			if h == nil {
@@ -156,7 +188,7 @@ func (n *Node) Request(to ids.NodeID, typ byte, payload []byte, pol RetryPolicy)
 	w := NewWaiter()
 	n.mu.Lock()
 	n.stats.Requests++
-	n.inflight[msgID] = w
+	n.inflight[msgID] = inflightEntry{w: w, peer: to}
 	n.mu.Unlock()
 	defer func() {
 		n.mu.Lock()
@@ -177,6 +209,9 @@ func (n *Node) Request(to ids.NodeID, typ byte, payload []byte, pol RetryPolicy)
 			n.bump(func(s *NodeStats) { s.Retries++ })
 		}
 		if err := n.ep.Send(env); err != nil {
+			// Every failed exit bumps Failed, retries included — a send
+			// error on attempt k>1 is still a request that gave up.
+			n.bump(func(s *NodeStats) { s.Failed++ })
 			return Envelope{}, attempts, err
 		}
 		if resp, ok := n.ep.Await(w, n.ep.Now()+window); ok {

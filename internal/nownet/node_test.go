@@ -2,6 +2,7 @@ package nownet
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"nowover/internal/ids"
@@ -190,6 +191,157 @@ func TestNodeCastAndUnhandled(t *testing.T) {
 	}
 	if cs := client.Stats(); cs.Casts != 2 {
 		t.Errorf("client stats = %+v, want Casts 2", cs)
+	}
+}
+
+func TestNodeForgedResponseDropped(t *testing.T) {
+	// The response-forgery regression: a Byzantine third node that observes
+	// (or, here, guesses — per-node MsgIDs start at 1) the MsgID of a
+	// request addressed to someone else races a forged response against the
+	// honest one. Links are authenticated, so the forgery necessarily
+	// carries From=3; correlating by MsgID alone would deliver it anyway.
+	// Pre-fix the forged payload won the race and Request returned it;
+	// post-fix it is counted in ForgedResponses and the honest response,
+	// arriving 19 ticks later, still completes the waiter.
+	net := NewLoopback(Config{Link: LinkConfig{Latency: 1}})
+	defer net.Close()
+	server := NewNode(openOrFatal(t, net, 1))
+	server.Handle(typEcho, func(n *Node, env Envelope) {
+		n.Go(func() {
+			n.Endpoint().SleepUntil(20)
+			_ = n.Respond(env, []byte("honest"))
+		})
+	})
+	server.Start()
+	byz := NewNode(openOrFatal(t, net, 3))
+	byz.Start()
+	client := NewNode(openOrFatal(t, net, 2))
+	client.Start()
+	byz.Go(func() {
+		_ = byz.Endpoint().Send(Envelope{
+			Kind: KindResponse, Type: typEcho,
+			From: 3, To: 2, MsgID: 1, Payload: []byte("forged"),
+		})
+	})
+	var resp Envelope
+	var err error
+	client.Go(func() {
+		resp, _, err = client.Request(1, typEcho, []byte("ping"), RetryPolicy{Timeout: 64})
+	})
+	net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.From != 1 || string(resp.Payload) != "honest" {
+		t.Fatalf("request completed by forged response: from %v payload %q", resp.From, resp.Payload)
+	}
+	cs := client.Stats()
+	if cs.ForgedResponses != 1 {
+		t.Errorf("client stats = %+v, want ForgedResponses 1", cs)
+	}
+	if cs.Failed != 0 || cs.LateResponses != 0 {
+		t.Errorf("client stats = %+v, want no failures or late responses", cs)
+	}
+}
+
+// scriptEndpoint is a minimal Endpoint for accounting paths the loopback
+// net cannot reach by construction: transport send errors mid-retry, and
+// misrouted deliveries from a transport with a bad peer table (loopback
+// routes by To, so it never misdelivers).
+type scriptEndpoint struct {
+	id      ids.NodeID
+	sendErr []error // result of the k-th Send; nil beyond the script
+	sends   int
+	inbox   chan Envelope
+	wg      sync.WaitGroup
+}
+
+func newScriptEndpoint(id ids.NodeID, sendErr ...error) *scriptEndpoint {
+	return &scriptEndpoint{id: id, sendErr: sendErr, inbox: make(chan Envelope, 16)}
+}
+
+func (s *scriptEndpoint) ID() ids.NodeID { return s.id }
+func (s *scriptEndpoint) Send(env Envelope) error {
+	var err error
+	if s.sends < len(s.sendErr) {
+		err = s.sendErr[s.sends]
+	}
+	s.sends++
+	return err
+}
+func (s *scriptEndpoint) Recv() (Envelope, bool) {
+	env, ok := <-s.inbox
+	return env, ok
+}
+func (s *scriptEndpoint) Now() int64       { return 0 }
+func (s *scriptEndpoint) SleepUntil(int64) {}
+
+// Await times out immediately: the waiter's slot is all there is.
+func (s *scriptEndpoint) Await(w *Waiter, _ int64) (Envelope, bool) { return w.take() }
+func (s *scriptEndpoint) Wake(*Waiter)                              {}
+func (s *scriptEndpoint) Go(fn func()) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		fn()
+	}()
+}
+
+func TestNodeRequestSendErrorBumpsFailed(t *testing.T) {
+	// The retry-accounting regression: a transport send error must count
+	// the request as Failed on every exit path, not only on retry
+	// exhaustion. Attempt 1 sends fine and times out; attempt 2's Send
+	// errors — pre-fix that path returned with Failed still 0.
+	errBoom := errors.New("boom")
+	for _, tc := range []struct {
+		name     string
+		script   []error
+		retries  int
+		failedAt int
+	}{
+		{name: "first attempt", script: []error{errBoom}, retries: 3, failedAt: 1},
+		{name: "retry attempt", script: []error{nil, errBoom}, retries: 3, failedAt: 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ep := newScriptEndpoint(2, tc.script...)
+			n := NewNode(ep)
+			_, attempts, err := n.Request(1, typEcho, nil, RetryPolicy{Timeout: 4, Retries: tc.retries})
+			if !errors.Is(err, errBoom) {
+				t.Fatalf("err = %v, want %v", err, errBoom)
+			}
+			if attempts != tc.failedAt {
+				t.Errorf("attempts = %d, want %d", attempts, tc.failedAt)
+			}
+			if s := n.Stats(); s.Failed != 1 {
+				t.Errorf("stats = %+v, want Failed 1", s)
+			}
+		})
+	}
+}
+
+func TestNodeMisroutedDropped(t *testing.T) {
+	// An envelope whose To is some other node must be dropped and counted,
+	// never dispatched to a handler or matched against a waiter — on a real
+	// transport it is another node's mail, misdelivered.
+	ep := newScriptEndpoint(2)
+	n := NewNode(ep)
+	handled := 0
+	n.Handle(typEcho, func(*Node, Envelope) { handled++ })
+	n.Start()
+	ep.inbox <- Envelope{Kind: KindOneway, Type: typEcho, From: 1, To: 3, MsgID: 9}
+	ep.inbox <- Envelope{Kind: KindResponse, Type: typEcho, From: 1, To: 3, MsgID: 9}
+	ep.inbox <- Envelope{Kind: KindOneway, Type: typEcho, From: 1, To: 2, MsgID: 10}
+	close(ep.inbox)
+	ep.wg.Wait()
+	s := n.Stats()
+	if s.Misrouted != 2 {
+		t.Errorf("stats = %+v, want Misrouted 2", s)
+	}
+	if s.LateResponses != 0 || s.Unhandled != 0 {
+		t.Errorf("stats = %+v: misrouted envelopes leaked into other counters", s)
+	}
+	if handled != 1 {
+		t.Errorf("handler ran %d times, want 1 (only the correctly-addressed envelope)", handled)
 	}
 }
 

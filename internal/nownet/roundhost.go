@@ -33,6 +33,7 @@ type RoundHost struct {
 	node  *Node
 	cfg   HostConfig
 	trace *Trace
+	done  chan struct{} // closed when the round loop finishes
 
 	mu      sync.Mutex
 	led     metrics.Ledger
@@ -105,7 +106,7 @@ func (c HostConfig) withDefaults() HostConfig {
 // NewRoundHost attaches a host to a node and registers its handler. The
 // shared trace may be nil.
 func NewRoundHost(node *Node, cfg HostConfig, trace *Trace) *RoundHost {
-	h := &RoundHost{node: node, cfg: cfg.withDefaults(), trace: trace}
+	h := &RoundHost{node: node, cfg: cfg.withDefaults(), trace: trace, done: make(chan struct{})}
 	if h.cfg.Mode == ModeReliable {
 		h.seen = make(map[dedupKey]bool)
 	}
@@ -166,12 +167,18 @@ func (h *RoundHost) onRound(n *Node, env Envelope) {
 }
 
 // run is the round loop: sleep to the boundary, collect the previous
-// round's arrivals, step, emit.
+// round's arrivals, step, emit. Round boundaries are relative to the tick
+// the loop starts on: on the loopback net every host starts at tick 0, so
+// this is identical to absolute pacing (the equivalence suite pins it),
+// while on a wall-clock transport a host started late — a daemon whose
+// control client issued START after its peers — still paces full rounds.
 func (h *RoundHost) run() {
+	defer close(h.done)
 	ep := h.node.Endpoint()
+	base := ep.Now()
 	for r := 0; r < h.cfg.Rounds; r++ {
 		if r > 0 {
-			ep.SleepUntil(int64(r) * h.cfg.RoundTicks)
+			ep.SleepUntil(base + int64(r)*h.cfg.RoundTicks)
 		}
 		inbox := h.collect(r)
 		for _, m := range h.cfg.Proc.Step(r, inbox) {
@@ -180,10 +187,17 @@ func (h *RoundHost) run() {
 	}
 }
 
+// Wait blocks until the round loop has stepped every round. On the
+// loopback net Run already implies it; on a wall-clock transport it is
+// how the driver learns the protocol finished.
+func (h *RoundHost) Wait() { <-h.done }
+
 // collect drains the pending queue for round r. Lockstep mode takes
 // everything (unit latency makes every arrival previous-round by
 // construction); reliable mode keeps exactly the messages emitted in round
-// r-1 and discards older stragglers.
+// r-1, re-queues messages from rounds we have not reached (a peer ahead of
+// us in wall-clock time — daemon start skew — must not cost a vote), and
+// discards older stragglers.
 func (h *RoundHost) collect(r int) []runtime.Message {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -194,9 +208,12 @@ func (h *RoundHost) collect(r int) []runtime.Message {
 	}
 	kept := msgs[:0]
 	for _, m := range msgs {
-		if m.Round == r-1 {
+		switch {
+		case m.Round == r-1:
 			kept = append(kept, m)
-		} else {
+		case m.Round > r-1:
+			h.pending = append(h.pending, m)
+		default:
 			h.stats.Stale++
 		}
 	}
@@ -333,6 +350,15 @@ func (c *Cluster) Start() {
 	}
 }
 
+// Wait blocks until every host's round loop has finished, in sorted ID
+// order. Loopback drivers get this for free from Run; wall-clock drivers
+// (TCP) call it to learn the committee is done.
+func (c *Cluster) Wait() {
+	for _, id := range c.order {
+		c.hosts[id].Wait()
+	}
+}
+
 // Trace returns the shared emission trace.
 func (c *Cluster) Trace() *Trace { return c.trace }
 
@@ -365,6 +391,8 @@ func (c *Cluster) Stats() (NodeStats, HostStats) {
 		ns.Failed += s.Failed
 		ns.Responses += s.Responses
 		ns.LateResponses += s.LateResponses
+		ns.ForgedResponses += s.ForgedResponses
+		ns.Misrouted += s.Misrouted
 		ns.Unhandled += s.Unhandled
 		h := c.hosts[id].Stats()
 		hs.Emitted += h.Emitted

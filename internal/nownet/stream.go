@@ -1,0 +1,105 @@
+package nownet
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// StreamDecoder reframes envelopes off a byte stream. DecodeEnvelope
+// already frames for a stream — every envelope is length-prefixed behind
+// a magic byte — so the decoder only has to carry partial frames across
+// read boundaries and resynchronize after corruption: bytes that cannot
+// start a well-formed frame (wrong magic, illegal kind, oversized length)
+// are discarded one at a time, counted in Skipped, until a plausible
+// header lines up again. Payload bytes are never scanned for magic — a
+// frame is consumed wholesale by its length prefix — so resync only ever
+// runs over genuine garbage between frames.
+//
+// The decoded sequence is a pure function of the underlying byte string:
+// chunking (how many bytes each Read returns) affects neither the
+// envelopes, nor the skip count, nor the final error. FuzzReframe pins
+// that property.
+type StreamDecoder struct {
+	r       io.Reader
+	buf     []byte
+	eof     bool
+	skipped int64
+}
+
+// NewStreamDecoder wraps a byte stream.
+func NewStreamDecoder(r io.Reader) *StreamDecoder { return &StreamDecoder{r: r} }
+
+// Skipped returns the number of garbage bytes discarded during resync so
+// far. Transports surface it as a corruption counter.
+func (d *StreamDecoder) Skipped() int64 { return d.skipped }
+
+// Next returns the next well-formed envelope. At end of stream it returns
+// io.EOF if nothing partial remains buffered (trailing garbage that can
+// never start a frame is skipped and still counts as a clean end), and
+// io.ErrUnexpectedEOF if the stream ends mid-frame.
+func (d *StreamDecoder) Next() (Envelope, error) {
+	for {
+		// Resync: drop bytes that cannot begin a frame. The magic byte is
+		// necessary but not sufficient — a magic inside garbage is moved
+		// past one byte at a time once its header proves illegal.
+		i := 0
+		for i < len(d.buf) && d.buf[i] != envMagic {
+			i++
+		}
+		if i > 0 {
+			d.skipped += int64(i)
+			d.buf = d.buf[:copy(d.buf, d.buf[i:])]
+		}
+		if len(d.buf) >= envHeaderSize {
+			k := Kind(d.buf[1])
+			plen := binary.BigEndian.Uint32(d.buf[envHeaderSize-4 : envHeaderSize])
+			if k < KindOneway || k > KindResponse || plen > MaxPayload {
+				d.skipped++
+				d.buf = d.buf[:copy(d.buf, d.buf[1:])]
+				continue
+			}
+			if total := envHeaderSize + int(plen); len(d.buf) >= total {
+				env, consumed, err := DecodeEnvelope(d.buf[:total])
+				if err != nil {
+					// The header checks above mirror DecodeEnvelope's, so
+					// this cannot happen; resync anyway rather than wedge.
+					d.skipped++
+					d.buf = d.buf[:copy(d.buf, d.buf[1:])]
+					continue
+				}
+				d.buf = d.buf[:copy(d.buf, d.buf[consumed:])]
+				return env, nil
+			}
+		}
+		// A (possible) frame start with not enough bytes behind it yet.
+		if d.eof {
+			if len(d.buf) == 0 {
+				return Envelope{}, io.EOF
+			}
+			return Envelope{}, io.ErrUnexpectedEOF
+		}
+		if err := d.fill(); err != nil {
+			return Envelope{}, err
+		}
+	}
+}
+
+// fill appends one read's worth of bytes to the carry buffer. A final
+// short read that returns data alongside EOF keeps the data; the EOF is
+// remembered for the next pass.
+func (d *StreamDecoder) fill() error {
+	var chunk [4096]byte
+	n, err := d.r.Read(chunk[:])
+	if n > 0 {
+		d.buf = append(d.buf, chunk[:n]...)
+	}
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, io.EOF) {
+		d.eof = true
+		return nil
+	}
+	return err
+}
